@@ -1,0 +1,264 @@
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/server"
+)
+
+// One benchmark per paper table/figure: each iteration regenerates the
+// artifact (at reduced scale where a scale knob exists, so a -bench run
+// stays laptop-sized). Run `go test -bench=. -benchmem` to time them, or
+// `go run ./cmd/experiments` to print the paper-style rows at full scale.
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(int64(i + 1))
+		sink(b, r.Got["H_const_SFQ"])
+	}
+}
+
+func BenchmarkExample1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink(b, experiments.Example1().Got["H_WFQ"])
+	}
+}
+
+func BenchmarkExample2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink(b, experiments.Example2().Got["Wf_WFQ"])
+	}
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1b(experiments.Fig1Config{Scale: 1, Seed: int64(i + 1)})
+		sink(b, r.Got["src2_SFQ"])
+	}
+}
+
+func BenchmarkFig2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink(b, experiments.Fig2a().Got["delta_32Kb/s_10"])
+	}
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2b(experiments.Fig2bConfig{Scale: 0.02, Seed: int64(i + 1)})
+		sink(b, r.Got["ratio_4"])
+	}
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3b(experiments.Fig3Config{Scale: 0.2, Seed: int64(i + 1)})
+		sink(b, r.Got["phase1_r31"])
+	}
+}
+
+func BenchmarkSCFQDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink(b, experiments.SCFQDelay(int64(i + 1)).Got["gap_ms"])
+	}
+}
+
+func BenchmarkWFQDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink(b, experiments.WFQDelta().Got["low_ms"])
+	}
+}
+
+func BenchmarkExample3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink(b, experiments.Example3().Got["H_CD"])
+	}
+}
+
+func BenchmarkDelayShift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.DelayShift(experiments.DelayShiftConfig{Scale: 0.5, Seed: int64(i + 1)})
+		sink(b, r.Got["measured_hier_ms"])
+	}
+}
+
+func BenchmarkResidual(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink(b, experiments.Residual(int64(i + 1)).Got["min_slack_ms"])
+	}
+}
+
+func BenchmarkE2EBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.EndToEndBound(experiments.E2EConfig{Scale: 0.2, Seed: int64(i + 1)})
+		sink(b, r.Got["measured_max_ms"])
+	}
+}
+
+func BenchmarkGenRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink(b, experiments.GenRate(int64(i + 1)).Got["max_aggregate"])
+	}
+}
+
+func BenchmarkEBFTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.EBFTail(experiments.EBFTailConfig{Scale: 0.1, Seed: int64(i + 1)})
+		sink(b, r.Got["measured_max_ms"])
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink(b, experiments.AblationTieBreak(int64(i + 1)).Got["fifo_ms"])
+		sink(b, experiments.AblationWFQClock(int64(i + 1)).Got["Wm_SFQ"])
+		sink(b, experiments.AblationHierarchyOverhead(int64(i + 1)).Got["tree_r31"])
+	}
+}
+
+func sink(b *testing.B, v float64) {
+	if v != v { // NaN guard keeps the compiler from eliding the work
+		b.Fatal("NaN result")
+	}
+}
+
+// Scheduler micro-benchmarks back the paper's complexity discussion:
+// SFQ/SCFQ are a tag computation plus an O(log Q) heap operation per
+// packet, WFQ pays for the fluid GPS simulation on top, and DRR is O(1)
+// amortized.
+
+func benchScheduler(b *testing.B, mk func() sched.Interface, nflows int) {
+	s := mk()
+	for f := 0; f < nflows; f++ {
+		if err := s.AddFlow(f, float64(f%7+1)*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Keep a standing backlog so Dequeue always succeeds.
+	now := 0.0
+	for f := 0; f < nflows; f++ {
+		p := &sched.Packet{Flow: f, Length: 500}
+		if err := s.Enqueue(now, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 1e-5
+		p := &sched.Packet{Flow: rng.Intn(nflows), Length: 100 + float64(rng.Intn(1400))}
+		if err := s.Enqueue(now, p); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := s.Dequeue(now); !ok {
+			b.Fatal("scheduler ran dry")
+		}
+	}
+}
+
+func BenchmarkSchedulerOps(b *testing.B) {
+	algos := []struct {
+		name string
+		mk   func() sched.Interface
+	}{
+		{"SFQ", func() sched.Interface { return core.New() }},
+		{"FlowSFQ", func() sched.Interface { return core.NewFlowSFQ() }},
+		{"SCFQ", func() sched.Interface { return sched.NewSCFQ() }},
+		{"WFQ", func() sched.Interface { return sched.NewWFQ(1e6) }},
+		{"FQS", func() sched.Interface { return sched.NewFQS(1e6) }},
+		{"DRR", func() sched.Interface { return sched.NewDRR(2000) }},
+		{"VC", func() sched.Interface { return sched.NewVirtualClock() }},
+		{"FA", func() sched.Interface { return sched.NewFairAirport() }},
+		{"FIFO", func() sched.Interface { return sched.NewFIFO() }},
+	}
+	for _, a := range algos {
+		for _, q := range []int{16, 256, 4096} {
+			b.Run(fmt.Sprintf("%s/Q=%d", a.name, q), func(b *testing.B) {
+				benchScheduler(b, a.mk, q)
+			})
+		}
+	}
+}
+
+// BenchmarkHSFQDepth measures hierarchical scheduling cost per tree depth.
+func BenchmarkHSFQDepth(b *testing.B) {
+	for _, depth := range []int{1, 3, 6} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			h := core.NewHSFQ()
+			parent := (*core.Class)(nil)
+			for d := 0; d < depth-1; d++ {
+				var err error
+				parent, err = h.NewClass(parent, fmt.Sprintf("c%d", d), 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for f := 0; f < 8; f++ {
+				if err := h.AddFlowTo(parent, f, float64(f+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			now := 0.0
+			for f := 0; f < 8; f++ {
+				if err := h.Enqueue(now, &sched.Packet{Flow: f, Length: 500}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(2))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += 1e-5
+				if err := h.Enqueue(now, &sched.Packet{Flow: rng.Intn(8), Length: 500}); err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := h.Dequeue(now); !ok {
+					b.Fatal("ran dry")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGPSSimulation isolates the cost WFQ pays for the fluid
+// reference system as flow count grows.
+func BenchmarkGPSSimulation(b *testing.B) {
+	for _, q := range []int{16, 1024} {
+		b.Run(fmt.Sprintf("Q=%d", q), func(b *testing.B) {
+			benchScheduler(b, func() sched.Interface { return sched.NewWFQ(1e6) }, q)
+		})
+	}
+}
+
+// BenchmarkServerProcesses times the variable-rate capacity integrators.
+func BenchmarkServerProcesses(b *testing.B) {
+	procs := []struct {
+		name string
+		mk   func() server.Process
+	}{
+		{"const", func() server.Process { return server.NewConstantRate(1e6) }},
+		{"onoff", func() server.Process { return server.NewPeriodicOnOff(1e6, 0.01) }},
+		{"slotted", func() server.Process {
+			return server.NewRandomSlotted(1e6, 0.01, rand.New(rand.NewSource(1)))
+		}},
+		{"markov", func() server.Process {
+			return server.NewMarkovModulated([]float64{5e5, 1e6, 2e6}, 0.01, rand.New(rand.NewSource(1)))
+		}},
+	}
+	for _, p := range procs {
+		b.Run(p.name, func(b *testing.B) {
+			proc := p.mk()
+			now := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = proc.Finish(now, 1000)
+			}
+		})
+	}
+}

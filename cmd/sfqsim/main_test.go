@@ -1,0 +1,54 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseWeights(t *testing.T) {
+	ws, err := parseWeights("", 3)
+	if err != nil || len(ws) != 3 || ws[0] != 1 {
+		t.Errorf("default weights = %v, %v", ws, err)
+	}
+	ws, err = parseWeights("1, 2.5 ,3", 3)
+	if err != nil || ws[1] != 2.5 {
+		t.Errorf("parsed = %v, %v", ws, err)
+	}
+	if _, err := parseWeights("1,2", 3); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	if _, err := parseWeights("1,x,3", 3); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parseWeights("1,-2,3", 3); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestMakeScheduler(t *testing.T) {
+	for _, name := range []string{"sfq", "flowsfq", "hsfq", "wfq", "fqs", "scfq", "drr", "vc", "edd", "fifo", "fa"} {
+		s, err := makeScheduler(name, 1000)
+		if err != nil || s == nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := makeScheduler("nope", 1000); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestMakeProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range []string{"const", "onoff", "slotted", "markov"} {
+		p, err := makeProcess(kind, 1000, rng)
+		if err != nil || p == nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+		if p.MeanRate() <= 0 {
+			t.Errorf("%s: mean rate %v", kind, p.MeanRate())
+		}
+	}
+	if _, err := makeProcess("nope", 1000, rng); err == nil {
+		t.Error("unknown process accepted")
+	}
+}

@@ -1,0 +1,90 @@
+// Command vbrgen generates and inspects synthetic MPEG VBR traces — the
+// stand-in for the paper's proprietary video trace.
+//
+//	vbrgen -out trace.vbr -frames 2400 -rate 1.21           # generate
+//	vbrgen -in trace.vbr                                     # inspect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/units"
+	"repro/internal/vbr"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "write a generated trace to this file")
+		in       = flag.String("in", "", "read and summarize a trace file")
+		frames   = flag.Int("frames", 2400, "number of frames to generate")
+		rateMbps = flag.Float64("rate", 1.21, "target mean rate in Mb/s")
+		fps      = flag.Float64("fps", 24, "frames per second")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *out != "":
+		tr := vbr.Generate(vbr.Config{
+			FPS:      *fps,
+			MeanRate: units.Mbps(*rateMbps),
+		}, *frames, rand.New(rand.NewSource(*seed)))
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		summarize(tr)
+		fmt.Printf("wrote %s\n", *out)
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := vbr.ReadTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		summarize(tr)
+	default:
+		fmt.Fprintln(os.Stderr, "vbrgen: need -out or -in")
+		os.Exit(2)
+	}
+}
+
+func summarize(tr *vbr.Trace) {
+	fmt.Printf("frames:    %d @ %.1f fps (%.1f s)\n", len(tr.Sizes), tr.FPS, tr.Duration())
+	fmt.Printf("mean rate: %.3f Mb/s\n", units.ToMbps(tr.MeanRate()))
+	fmt.Printf("peak frame: %.0f bytes (mean %.0f)\n",
+		tr.PeakFrame(), tr.MeanRate()/tr.FPS)
+	// Per-second rate spread plus the two-time-scale burstiness report.
+	perSec := tr.PerSecondRates()
+	lo, hi := tr.MeanRate(), tr.MeanRate()
+	for _, v := range perSec {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	fmt.Printf("per-second rate: min %.3f / max %.3f Mb/s\n", units.ToMbps(lo), units.ToMbps(hi))
+	fmt.Printf("GOP structure:  %s\n", tr.AnalyzeGOP(nil))
+	b := tr.Burstiness()
+	fmt.Printf("burstiness: frame CV %.2f, second CV %.2f, second AC(1) %.2f\n",
+		b.FrameCV, b.SecondCV, b.SecondAC1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vbrgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Package eventq implements the discrete-event core used by the packet
+// network simulator: a time-ordered queue of callbacks with a simulated
+// clock. Events scheduled for the same instant fire in the order they were
+// scheduled, which keeps simulations deterministic.
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Queue is a discrete-event queue. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	now float64
+	seq uint64
+	// steps counts executed events, for runaway detection in tests.
+	steps uint64
+}
+
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulated time in seconds.
+func (q *Queue) Now() float64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return q.h.Len() }
+
+// Steps returns the number of events executed so far.
+func (q *Queue) Steps() uint64 { return q.steps }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a simulation bug (causality violation).
+func (q *Queue) At(t float64, fn func()) {
+	if t < q.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", t, q.now))
+	}
+	if math.IsNaN(t) {
+		panic("eventq: scheduling at NaN")
+	}
+	q.seq++
+	heap.Push(&q.h, event{time: t, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (q *Queue) After(d float64, fn func()) { q.At(q.now+d, fn) }
+
+// Step executes the earliest pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (q *Queue) Step() bool {
+	if q.h.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(event)
+	q.now = e.time
+	q.steps++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+// Events scheduled exactly at t do run.
+func (q *Queue) RunUntil(t float64) {
+	for q.h.Len() > 0 && q.h[0].time <= t {
+		q.Step()
+	}
+	if t > q.now {
+		q.now = t
+	}
+}
+
+// RunFor executes events for d seconds of simulated time from now.
+func (q *Queue) RunFor(d float64) { q.RunUntil(q.now + d) }

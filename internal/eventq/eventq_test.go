@@ -1,0 +1,127 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.At(3, func() { got = append(got, 3) })
+	q.At(1, func() { got = append(got, 1) })
+	q.At(2, func() { got = append(got, 2) })
+	q.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if q.Now() != 3 {
+		t.Errorf("Now = %v, want 3", q.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(1, func() { got = append(got, i) })
+	}
+	q.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var q Queue
+	var got []float64
+	q.At(1, func() {
+		q.After(0.5, func() { got = append(got, q.Now()) })
+	})
+	q.Run()
+	if len(got) != 1 || got[0] != 1.5 {
+		t.Errorf("nested After = %v", got)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var q Queue
+	q.At(5, func() {})
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	q.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	fired := map[float64]bool{}
+	for _, tt := range []float64{1, 2, 3, 4} {
+		tt := tt
+		q.At(tt, func() { fired[tt] = true })
+	}
+	q.RunUntil(2)
+	if !fired[1] || !fired[2] || fired[3] {
+		t.Errorf("RunUntil(2) fired %v", fired)
+	}
+	if q.Now() != 2 {
+		t.Errorf("Now = %v, want 2", q.Now())
+	}
+	q.RunFor(1)
+	if !fired[3] || fired[4] {
+		t.Errorf("RunFor(1) fired %v", fired)
+	}
+}
+
+func TestStepAndLen(t *testing.T) {
+	var q Queue
+	q.At(1, func() {})
+	q.At(2, func() {})
+	if q.Len() != 2 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	if !q.Step() || q.Len() != 1 || q.Steps() != 1 {
+		t.Error("Step bookkeeping wrong")
+	}
+	q.Run()
+	if q.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}
+
+// Property: any random schedule executes in non-decreasing time order.
+func TestQuickTimeMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var times []float64
+		want := make([]float64, 0, n)
+		for i := 0; i < int(n); i++ {
+			tt := rng.Float64() * 100
+			want = append(want, tt)
+			q.At(tt, func() { times = append(times, q.Now()) })
+		}
+		q.Run()
+		sort.Float64s(want)
+		if len(times) != len(want) {
+			return false
+		}
+		for i := range times {
+			if times[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"repro/internal/qos"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// BoundsConfig parameterizes the analytic comparison table.
+type BoundsConfig struct {
+	C     float64 // link rate, bytes/s (0 = 100 Mb/s)
+	NLow  int     // low-rate flows (0 = 200)
+	RLow  float64 // bytes/s (0 = 64 Kb/s)
+	NHigh int     // high-rate flows (0 = 70)
+	RHigh float64 // bytes/s (0 = 1 Mb/s)
+	L     float64 // packet length, bytes (0 = 200)
+}
+
+func (c BoundsConfig) withDefaults() BoundsConfig {
+	if c.C == 0 {
+		c.C = units.Mbps(100)
+	}
+	if c.NLow == 0 {
+		c.NLow = 200
+	}
+	if c.RLow == 0 {
+		c.RLow = units.Kbps(64)
+	}
+	if c.NHigh == 0 {
+		c.NHigh = 70
+	}
+	if c.RHigh == 0 {
+		c.RHigh = units.Mbps(1)
+	}
+	if c.L == 0 {
+		c.L = 200
+	}
+	return c
+}
+
+// Bounds generates the analytic comparison the paper argues from: for a
+// configurable mix of low- and high-rate flows on one link, the
+// worst-case delay term (beyond EAT) and the fairness measure of every
+// algorithm, side by side. It is the quantitative form of the Table 1 /
+// §2.3 discussion and a planning tool for sizing an SFQ deployment.
+// Fairness values are in milliseconds of normalized service (weights are
+// rates, so H has units of time).
+func Bounds(cfg BoundsConfig) *Result {
+	cfg = cfg.withDefaults()
+	r := newResult("bounds", "analytic delay & fairness bounds for a configurable flow mix")
+
+	nQ := cfg.NLow + cfg.NHigh
+	sumOther := float64(nQ-1) * cfg.L
+	fc := server.FCParams{C: cfg.C}
+
+	r.addf("link %.1f Mb/s; %d flows @ %.0f Kb/s + %d flows @ %.0f Kb/s; %g B packets",
+		units.ToMbps(cfg.C), cfg.NLow, units.ToKbps(cfg.RLow), cfg.NHigh, units.ToKbps(cfg.RHigh), cfg.L)
+	r.addf("")
+	r.addf("%-6s %16s %16s %18s", "algo", "low-rate max ms", "high-rate max ms", "H(low,high)")
+
+	type row struct {
+		name      string
+		low, high float64 // delay term beyond EAT, seconds
+		fairness  float64 // H(low, high); negative = unbounded/unfair
+	}
+	rows := []row{
+		{
+			name:     "SFQ",
+			low:      qos.SFQDelayBound(fc, 0, cfg.L, sumOther),
+			high:     qos.SFQDelayBound(fc, 0, cfg.L, sumOther),
+			fairness: qos.SFQFairnessBound(cfg.L, cfg.RLow, cfg.L, cfg.RHigh),
+		},
+		{
+			name:     "SCFQ",
+			low:      qos.SCFQDelayBound(cfg.C, 0, cfg.L, cfg.RLow, sumOther),
+			high:     qos.SCFQDelayBound(cfg.C, 0, cfg.L, cfg.RHigh, sumOther),
+			fairness: qos.SCFQFairnessBound(cfg.L, cfg.RLow, cfg.L, cfg.RHigh),
+		},
+		{
+			name:     "WFQ",
+			low:      qos.WFQDelayBound(cfg.C, 0, cfg.L, cfg.RLow, cfg.L),
+			high:     qos.WFQDelayBound(cfg.C, 0, cfg.L, cfg.RHigh, cfg.L),
+			fairness: -1, // at least 2x the lower bound; no upper bound proven
+		},
+		{
+			name:     "VC",
+			low:      qos.WFQDelayBound(cfg.C, 0, cfg.L, cfg.RLow, cfg.L), // same guarantee [6]
+			high:     qos.WFQDelayBound(cfg.C, 0, cfg.L, cfg.RHigh, cfg.L),
+			fairness: -1, // unfair by design (§1.1)
+		},
+		{
+			name:     "FA",
+			low:      qos.FADelayBound(cfg.C, 0, cfg.L, cfg.RLow, cfg.L),
+			high:     qos.FADelayBound(cfg.C, 0, cfg.L, cfg.RHigh, cfg.L),
+			fairness: qos.FAFairnessBound(cfg.C, cfg.L, cfg.RLow, cfg.L, cfg.RHigh, cfg.L),
+		},
+		{
+			name:     "DRR",
+			low:      -1, // weight-dependent, unbounded in general (§1.2)
+			high:     -1,
+			fairness: qos.DRRFairnessBound(cfg.L, cfg.RLow, cfg.L, cfg.RHigh),
+		},
+	}
+	fmtMsOrDash := func(v float64) string {
+		if v < 0 {
+			return "        (unbnd)"
+		}
+		return fmtMS(v) + " ms"
+	}
+	for _, row := range rows {
+		fair := "      (unfair)"
+		if row.fairness >= 0 {
+			fair = fmtMS(row.fairness / 1) // seconds-per-weight units; display raw
+		}
+		r.addf("%-6s %16s %16s %18s", row.name, fmtMsOrDash(row.low), fmtMsOrDash(row.high), fair)
+		if row.low >= 0 {
+			r.set("low_ms_"+row.name, units.ToMillis(row.low))
+		}
+		if row.fairness >= 0 {
+			r.set("H_"+row.name, row.fairness)
+		}
+	}
+	r.addf("")
+	r.addf("SFQ's low-rate delay term beats WFQ/VC/SCFQ whenever r/C < 1/(|Q|-1) = 1/%d", nQ-1)
+	r.set("crossover", qos.CrossoverShare(nQ))
+	return r
+}

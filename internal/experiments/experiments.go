@@ -1,0 +1,80 @@
+// Package experiments regenerates every table and figure of the SFQ
+// paper's evaluation. Each experiment is a pure function of its
+// configuration (sizes are scalable so the benchmark harness can run
+// reduced versions) and returns both machine-readable metrics and the
+// paper-style rows that cmd/experiments prints.
+//
+// The per-experiment index in DESIGN.md maps each function here to the
+// table or figure it reproduces; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID    string
+	Title string
+	Lines []string           // paper-style rendered rows
+	Got   map[string]float64 // key metrics, stable keys for tests/benches
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Got: make(map[string]float64)}
+}
+
+func (r *Result) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) set(key string, v float64) { r.Got[key] = v }
+
+// String renders the result for the CLI.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Keys returns the metric keys in sorted order.
+func (r *Result) Keys() []string {
+	ks := make([]string, 0, len(r.Got))
+	for k := range r.Got {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// All runs every experiment at the given scale and seed, in the order the
+// paper presents them.
+func All(scale float64, seed int64) []*Result {
+	return []*Result{
+		Table1(seed),
+		Example1(),
+		Example2(),
+		Fig1b(Fig1Config{Scale: scale, Seed: seed}),
+		Fig2a(),
+		Fig2b(Fig2bConfig{Scale: scale, Seed: seed}),
+		Fig3b(Fig3Config{Scale: scale, Seed: seed}),
+		SCFQDelay(seed),
+		WFQDelta(),
+		Example3(),
+		DelayShift(DelayShiftConfig{Scale: scale, Seed: seed}),
+		Residual(seed),
+		EndToEndBound(E2EConfig{Scale: scale, Seed: seed}),
+		EBFTail(EBFTailConfig{Scale: scale, Seed: seed}),
+		GenRate(seed),
+		Bounds(BoundsConfig{}),
+		AblationTieBreak(seed),
+		AblationWFQClock(seed),
+		AblationHierarchyOverhead(seed),
+	}
+}

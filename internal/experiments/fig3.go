@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/units"
+)
+
+// Fig3Config parameterizes the Fig 3(b) reproduction. Scale multiplies the
+// per-connection packet budget (1.0 = 2,500 packets per connection; the
+// paper's testbed used 500,000 on real hardware).
+type Fig3Config struct {
+	Scale float64
+	Seed  int64
+}
+
+// Fig3Point is one sample of the Figure 3(b) throughput staircase.
+type Fig3Point struct {
+	Time float64
+	Mbps [3]float64 // connections 1..3 (weights 1:2:3)
+}
+
+// Fig3b reproduces the Section 4 implementation experiment (Figure 3):
+// three greedy connections with weights 1, 2 and 3 send equal packet
+// budgets of 4 KB packets over an interface whose realizable bandwidth
+// fluctuates around 48 Mb/s. The SFQ scheduler must deliver throughput in
+// ratio 1:2:3 while all three are active, 1:2 after the weight-3
+// connection finishes, and the full bandwidth to the survivor — despite
+// the varying link rate (our stand-in for the Solaris/ATM testbed whose
+// CPU-limited NIC rate varied).
+func Fig3b(cfg Fig3Config) *Result {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	r := newResult("fig3b", "Figure 3(b) — weighted throughput staircase on a variable-rate interface")
+
+	points, phases := runFig3(cfg)
+
+	r.addf("%8s %10s %10s %10s", "t (s)", "w=1 Mb/s", "w=2 Mb/s", "w=3 Mb/s")
+	for _, p := range points {
+		r.addf("%8.2f %10.2f %10.2f %10.2f", p.Time, p.Mbps[0], p.Mbps[1], p.Mbps[2])
+	}
+	for i, ph := range phases {
+		r.addf("phase %d: %s", i+1, ph.describe())
+		r.set(fmt.Sprintf("phase%d_r21", i+1), ph.r21)
+		r.set(fmt.Sprintf("phase%d_r31", i+1), ph.r31)
+	}
+	r.addf("paper: ratios 1:2:3 while all active, then 1:2, then the full bandwidth to the survivor")
+	return r
+}
+
+type fig3Phase struct {
+	name     string
+	r21, r31 float64 // throughput ratios relative to connection 1
+}
+
+func (p fig3Phase) describe() string {
+	if p.r31 > 0 {
+		return fmt.Sprintf("%s — ratios 1 : %.2f : %.2f", p.name, p.r21, p.r31)
+	}
+	if p.r21 > 0 {
+		return fmt.Sprintf("%s — ratios 1 : %.2f", p.name, p.r21)
+	}
+	return fmt.Sprintf("%s — survivor holds the link", p.name)
+}
+
+// Fig3bSeries exposes the raw staircase samples for plotting.
+func Fig3bSeries(cfg Fig3Config) []Fig3Point {
+	pts, _ := runFig3(cfg)
+	return pts
+}
+
+func runFig3(cfg Fig3Config) ([]Fig3Point, []fig3Phase) {
+	const (
+		pktBytes = 4096.0
+		sample   = 0.1 // seconds per throughput sample
+	)
+	budget := 2500 * cfg.Scale * pktBytes
+	meanRate := units.Mbps(48)
+
+	q := &eventq.Queue{}
+	s := core.New()
+	sink := sim.NewSink(q)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The interface's realizable bandwidth fluctuates around 48 Mb/s
+	// (CPU contention on the testbed); ±25% states, 50 ms mean holds.
+	proc := server.NewMarkovModulated(
+		[]float64{0.75 * meanRate, meanRate, 1.25 * meanRate}, 0.05, rng)
+	link := sim.NewLink(q, "atm", s, proc, sink)
+	mon := sim.Attach(link)
+
+	done := map[int]float64{} // flow -> completion time
+	var bulks []*source.Bulk
+	for f := 1; f <= 3; f++ {
+		if err := s.AddFlow(f, float64(f)); err != nil {
+			panic(err)
+		}
+		b := &source.Bulk{Q: q, Link: link, Flow: f, PktBytes: pktBytes,
+			Budget: budget, Window: 8 * pktBytes}
+		bulks = append(bulks, b)
+		b.Run()
+	}
+	// Record completion times via the monitor's served bytes.
+	link.OnDepart = chainDepart(link.OnDepart, func(f *sim.Frame, start, end float64) {
+		if mon.ServedBytes(f.Flow) >= budget && done[f.Flow] == 0 {
+			done[f.Flow] = end
+		}
+	})
+	q.Run()
+
+	endAll := 0.0
+	for _, t := range done {
+		if t > endAll {
+			endAll = t
+		}
+	}
+
+	// Sample the staircase.
+	var points []Fig3Point
+	for t := sample; t <= endAll+sample/2; t += sample {
+		var p Fig3Point
+		p.Time = t
+		for f := 1; f <= 3; f++ {
+			p.Mbps[f-1] = units.ToMbps(mon.ServiceCurve(f).Delta(t-sample, t) / sample)
+		}
+		points = append(points, p)
+	}
+
+	// Phase ratios: all-active, two-active, survivor.
+	tEnd3 := done[3]
+	tEnd2 := done[2]
+	phase1 := fig3Phase{name: "all three active"}
+	w1 := mon.ServiceCurve(1).Delta(0, tEnd3)
+	phase1.r21 = mon.ServiceCurve(2).Delta(0, tEnd3) / w1
+	phase1.r31 = mon.ServiceCurve(3).Delta(0, tEnd3) / w1
+	phase2 := fig3Phase{name: "weights 1 and 2 active"}
+	w1b := mon.ServiceCurve(1).Delta(tEnd3, tEnd2)
+	phase2.r21 = mon.ServiceCurve(2).Delta(tEnd3, tEnd2) / w1b
+	phase3 := fig3Phase{name: "weight 1 alone"}
+	return points, []fig3Phase{phase1, phase2, phase3}
+}
+
+func chainDepart(prev func(*sim.Frame, float64, float64), next func(*sim.Frame, float64, float64)) func(*sim.Frame, float64, float64) {
+	return func(f *sim.Frame, a, b float64) {
+		if prev != nil {
+			prev(f, a, b)
+		}
+		next(f, a, b)
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import "testing"
+
+// The headline paper shapes must hold across seeds, not just on the
+// default one — each reproduction is re-run under several RNG seeds and
+// the qualitative claim re-asserted.
+
+func TestFig1bShapeAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := Fig1b(Fig1Config{Scale: 1, Seed: seed})
+		if r.Got["early3_WFQ"] > 25 {
+			t.Errorf("seed %d: WFQ early source-3 packets = %v; starvation should persist",
+				seed, r.Got["early3_WFQ"])
+		}
+		if r.Got["early3_SFQ"] <= 2*r.Got["early3_WFQ"]+20 {
+			t.Errorf("seed %d: SFQ early service %v vs WFQ %v; SFQ should serve source 3 promptly",
+				seed, r.Got["early3_SFQ"], r.Got["early3_WFQ"])
+		}
+		ratio := r.Got["src2_SFQ"] / r.Got["src3_SFQ"]
+		if ratio < 0.7 || ratio > 1.5 {
+			t.Errorf("seed %d: SFQ split ratio %v", seed, ratio)
+		}
+	}
+}
+
+func TestFig3bStaircaseAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := Fig3b(Fig3Config{Scale: 0.2, Seed: seed})
+		if got := r.Got["phase1_r31"]; got < 2.7 || got > 3.3 {
+			t.Errorf("seed %d: phase-1 ratio w3/w1 = %v, want ≈ 3", seed, got)
+		}
+		if got := r.Got["phase2_r21"]; got < 1.8 || got > 2.2 {
+			t.Errorf("seed %d: phase-2 ratio w2/w1 = %v, want ≈ 2", seed, got)
+		}
+	}
+}
+
+func TestFig2bRatioAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		r := Fig2b(Fig2bConfig{Scale: 0.05, Seed: seed})
+		if r.Got["ratio_4"] < 1.1 {
+			t.Errorf("seed %d: WFQ/SFQ delay ratio at n=4 = %v", seed, r.Got["ratio_4"])
+		}
+	}
+}
+
+func TestTheoremBoundsAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if r := Residual(seed); r.Got["violations"] != 0 {
+			t.Errorf("seed %d: residual Theorem-4 violations %v", seed, r.Got["violations"])
+		}
+		if r := GenRate(seed); r.Got["violations"] != 0 {
+			t.Errorf("seed %d: generalized-rate violations %v", seed, r.Got["violations"])
+		}
+		r := EndToEndBound(E2EConfig{Scale: 0.1, Seed: seed})
+		if r.Got["measured_max_ms"] > r.Got["bound_ms"] {
+			t.Errorf("seed %d: Corollary 1 violated: %v > %v",
+				seed, r.Got["measured_max_ms"], r.Got["bound_ms"])
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package fairness measures the empirical fairness of a scheduler run:
+// the paper's fairness measure H(f,m) is the supremum of
+// |W_f(t1,t2)/r_f − W_m(t1,t2)/r_m| over every interval [t1,t2] in which
+// both flows are backlogged, where a packet counts toward W only if its
+// service starts and finishes inside the interval (§1.2).
+//
+// The computation is exact: given the per-packet service records and the
+// per-flow backlogged intervals captured by a sim.Monitor, it examines all
+// candidate interval endpoints (service starts for t1, service ends for
+// t2) within each jointly backlogged interval.
+package fairness
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Intersect returns the pairwise intersection of two sorted interval sets.
+func Intersect(a, b []sim.Interval) []sim.Interval {
+	var out []sim.Interval
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := math.Max(a[i].Start, b[j].Start)
+		hi := math.Min(a[i].End, b[j].End)
+		if lo < hi {
+			out = append(out, sim.Interval{Start: lo, End: hi})
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// MaxUnfairness returns the empirical H(f,m): the maximum of
+// |W_f(t1,t2)/r_f − W_m(t1,t2)/r_m| over sub-intervals of the jointly
+// backlogged intervals. recs must be in completion order (as recorded by a
+// sim.Monitor); rf and rm are the flow weights.
+func MaxUnfairness(recs []sim.ServiceRecord, fIv, mIv []sim.Interval, f, m int, rf, rm float64) float64 {
+	joint := Intersect(fIv, mIv)
+	worst := 0.0
+	for _, iv := range joint {
+		if d := maxOverInterval(recs, iv, f, m, rf, rm); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// rec is a normalized service completion: +bytes/rf for flow f, −bytes/rm
+// for flow m.
+type rec struct {
+	start, end float64
+	delta      float64
+}
+
+func maxOverInterval(recs []sim.ServiceRecord, iv sim.Interval, f, m int, rf, rm float64) float64 {
+	// Packets of f or m fully served within the joint interval.
+	var rs []rec
+	for _, r := range recs {
+		if r.Start < iv.Start || r.End > iv.End {
+			continue
+		}
+		switch r.Flow {
+		case f:
+			rs = append(rs, rec{r.Start, r.End, r.Bytes / rf})
+		case m:
+			rs = append(rs, rec{r.Start, r.End, -r.Bytes / rm})
+		}
+	}
+	if len(rs) == 0 {
+		return 0
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].end < rs[j].end })
+
+	// Candidate t1 values: just before each service start (and the
+	// interval start). For each t1, sweep t2 over service completions and
+	// track the running normalized difference; its max |value| over all
+	// (t1, t2) pairs is the answer.
+	t1s := make([]float64, 0, len(rs)+1)
+	t1s = append(t1s, iv.Start)
+	for _, r := range rs {
+		t1s = append(t1s, r.start)
+	}
+	sort.Float64s(t1s)
+	t1s = dedup(t1s)
+
+	worst := 0.0
+	for _, t1 := range t1s {
+		sum := 0.0
+		for _, r := range rs {
+			if r.start >= t1 {
+				sum += r.delta
+				if a := math.Abs(sum); a > worst {
+					worst = a
+				}
+			}
+		}
+	}
+	return worst
+}
+
+func dedup(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MonitorUnfairness computes H(f,m) from a monitor and the flow weights.
+func MonitorUnfairness(mon *sim.Monitor, f, m int, rf, rm float64) float64 {
+	return MaxUnfairness(mon.Records, mon.BackloggedIntervals(f), mon.BackloggedIntervals(m), f, m, rf, rm)
+}
+
+// NormalizedThroughput returns W_f(t1,t2)/r_f computed from service
+// records (packets fully served within [t1,t2]).
+func NormalizedThroughput(recs []sim.ServiceRecord, flow int, rf, t1, t2 float64) float64 {
+	sum := 0.0
+	for _, r := range recs {
+		if r.Flow == flow && r.Start >= t1 && r.End <= t2 {
+			sum += r.Bytes
+		}
+	}
+	return sum / rf
+}

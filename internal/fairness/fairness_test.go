@@ -1,0 +1,120 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestIntersect(t *testing.T) {
+	a := []sim.Interval{{Start: 0, End: 5}, {Start: 10, End: 20}}
+	b := []sim.Interval{{Start: 3, End: 12}, {Start: 15, End: 16}, {Start: 25, End: 30}}
+	got := Intersect(a, b)
+	want := []sim.Interval{{Start: 3, End: 5}, {Start: 10, End: 12}, {Start: 15, End: 16}}
+	if len(got) != len(want) {
+		t.Fatalf("intersect = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("interval %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := Intersect(nil, b); out != nil {
+		t.Errorf("empty intersect = %v", out)
+	}
+}
+
+func TestMaxUnfairnessHandComputed(t *testing.T) {
+	// Flow 1 (r=1) and flow 2 (r=1) alternate unit packets, then flow 1
+	// gets three in a row: the worst window captures those three.
+	recs := []sim.ServiceRecord{
+		{Flow: 1, Start: 0, End: 1, Bytes: 1},
+		{Flow: 2, Start: 1, End: 2, Bytes: 1},
+		{Flow: 1, Start: 2, End: 3, Bytes: 1},
+		{Flow: 1, Start: 3, End: 4, Bytes: 1},
+		{Flow: 1, Start: 4, End: 5, Bytes: 1},
+		{Flow: 2, Start: 5, End: 6, Bytes: 1},
+	}
+	iv := []sim.Interval{{Start: 0, End: 6}}
+	h := MaxUnfairness(recs, iv, iv, 1, 2, 1, 1)
+	if h != 3 {
+		t.Errorf("H = %v, want 3 (the 3-packet run)", h)
+	}
+}
+
+func TestMaxUnfairnessRespectsBacklog(t *testing.T) {
+	// Same records, but flow 2 is only backlogged during [0,2]: the
+	// 3-packet run falls outside any jointly backlogged interval.
+	recs := []sim.ServiceRecord{
+		{Flow: 1, Start: 0, End: 1, Bytes: 1},
+		{Flow: 2, Start: 1, End: 2, Bytes: 1},
+		{Flow: 1, Start: 2, End: 3, Bytes: 1},
+		{Flow: 1, Start: 3, End: 4, Bytes: 1},
+		{Flow: 1, Start: 4, End: 5, Bytes: 1},
+	}
+	f1 := []sim.Interval{{Start: 0, End: 5}}
+	f2 := []sim.Interval{{Start: 0, End: 2}}
+	h := MaxUnfairness(recs, f1, f2, 1, 2, 1, 1)
+	if h != 1 {
+		t.Errorf("H = %v, want 1 (only [0,2] counts)", h)
+	}
+}
+
+func TestMaxUnfairnessWeighted(t *testing.T) {
+	// Flow 1 weight 1, flow 2 weight 2: a fair schedule gives flow 2
+	// twice the bytes; normalized difference should be small.
+	recs := []sim.ServiceRecord{
+		{Flow: 2, Start: 0, End: 1, Bytes: 2},
+		{Flow: 1, Start: 1, End: 2, Bytes: 1},
+		{Flow: 2, Start: 2, End: 3, Bytes: 2},
+		{Flow: 1, Start: 3, End: 4, Bytes: 1},
+	}
+	iv := []sim.Interval{{Start: 0, End: 4}}
+	h := MaxUnfairness(recs, iv, iv, 1, 2, 1, 2)
+	if h != 1 {
+		t.Errorf("H = %v, want 1 (one normalized packet)", h)
+	}
+}
+
+func TestPartialServiceExcluded(t *testing.T) {
+	// A packet whose service starts before t1 or ends after t2 must not
+	// count: the paper's definition requires start AND finish inside.
+	recs := []sim.ServiceRecord{
+		{Flow: 1, Start: 0, End: 2, Bytes: 10}, // will straddle any [1, ...] window
+		{Flow: 2, Start: 2, End: 3, Bytes: 1},
+	}
+	if got := NormalizedThroughput(recs, 1, 1, 1, 3); got != 0 {
+		t.Errorf("straddling packet counted: %v", got)
+	}
+	if got := NormalizedThroughput(recs, 1, 1, 0, 2); got != 10 {
+		t.Errorf("contained packet missed: %v", got)
+	}
+}
+
+func TestNoJointBacklog(t *testing.T) {
+	recs := []sim.ServiceRecord{{Flow: 1, Start: 0, End: 1, Bytes: 1}}
+	h := MaxUnfairness(recs,
+		[]sim.Interval{{Start: 0, End: 1}},
+		[]sim.Interval{{Start: 2, End: 3}},
+		1, 2, 1, 1)
+	if h != 0 {
+		t.Errorf("disjoint backlogs should give H = 0, got %v", h)
+	}
+}
+
+func TestUnfairnessSymmetricIsh(t *testing.T) {
+	recs := []sim.ServiceRecord{
+		{Flow: 1, Start: 0, End: 1, Bytes: 3},
+		{Flow: 2, Start: 1, End: 2, Bytes: 1},
+	}
+	iv := []sim.Interval{{Start: 0, End: 2}}
+	h12 := MaxUnfairness(recs, iv, iv, 1, 2, 1, 1)
+	h21 := MaxUnfairness(recs, iv, iv, 2, 1, 1, 1)
+	if math.Abs(h12-h21) > 1e-12 {
+		t.Errorf("|H(1,2)-H(2,1)| = %v", math.Abs(h12-h21))
+	}
+	if h12 != 3 {
+		t.Errorf("H = %v, want 3", h12)
+	}
+}

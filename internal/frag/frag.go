@@ -1,0 +1,141 @@
+// Package frag provides packet fragmentation and reassembly consumers for
+// the simulator. Section 2.4 notes that the Theorem 6 / Corollary 1 proof
+// method extends to networks that fragment and reassemble packets; this
+// package provides the substrate to demonstrate that: a Fragmenter splits
+// frames to an MTU on their way into a hop, and a Reassembler restores the
+// original frame (with its original creation time, so end-to-end delay
+// measurements span the whole path).
+package frag
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// header identifies a fragment's place in its original frame.
+type header struct {
+	origSeq   int64
+	origBytes float64
+	origMeta  any
+	index     int
+	total     int
+}
+
+// Fragmenter splits data frames larger than MTU into MTU-sized fragments
+// (the last fragment carries the remainder). Frames at or under the MTU
+// pass through untouched.
+type Fragmenter struct {
+	MTU float64
+	Out sim.Consumer
+
+	seq   int64
+	count int64
+}
+
+// NewFragmenter returns a fragmenter writing to out.
+func NewFragmenter(mtu float64, out sim.Consumer) *Fragmenter {
+	if mtu <= 0 || out == nil {
+		panic("frag: invalid fragmenter")
+	}
+	return &Fragmenter{MTU: mtu, Out: out}
+}
+
+// Fragments returns the number of fragments emitted so far.
+func (f *Fragmenter) Fragments() int64 { return f.count }
+
+// Deliver splits the frame if needed.
+func (f *Fragmenter) Deliver(fr *sim.Frame) {
+	if fr.Bytes <= f.MTU {
+		f.Out.Deliver(fr)
+		return
+	}
+	total := int((fr.Bytes + f.MTU - 1) / f.MTU)
+	remaining := fr.Bytes
+	for i := 0; i < total; i++ {
+		sz := f.MTU
+		if remaining < sz {
+			sz = remaining
+		}
+		remaining -= sz
+		f.seq++
+		f.count++
+		f.Out.Deliver(&sim.Frame{
+			Flow:    fr.Flow,
+			Seq:     f.seq,
+			Bytes:   sz,
+			Kind:    fr.Kind,
+			Created: fr.Created,
+			Rate:    fr.Rate,
+			Meta: header{
+				origSeq:   fr.Seq,
+				origBytes: fr.Bytes,
+				origMeta:  fr.Meta,
+				index:     i,
+				total:     total,
+			},
+		})
+	}
+}
+
+// Reassembler collects fragments and forwards the restored frame once all
+// fragments of an original frame have arrived. Fragments may arrive
+// interleaved across originals of the same flow but are assumed not to be
+// lost (install an OnDrop hook upstream to detect loss; see Pending).
+type Reassembler struct {
+	Out sim.Consumer
+
+	pending map[key]*state
+}
+
+type key struct {
+	flow int
+	seq  int64
+}
+
+type state struct {
+	got     map[int]bool
+	created float64
+}
+
+// NewReassembler returns a reassembler writing restored frames to out.
+func NewReassembler(out sim.Consumer) *Reassembler {
+	if out == nil {
+		panic("frag: nil consumer")
+	}
+	return &Reassembler{Out: out, pending: make(map[key]*state)}
+}
+
+// Pending returns the number of partially reassembled frames (nonzero at
+// the end of a run indicates fragment loss).
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// Deliver accepts a fragment or passes through an unfragmented frame.
+func (r *Reassembler) Deliver(fr *sim.Frame) {
+	h, ok := fr.Meta.(header)
+	if !ok {
+		r.Out.Deliver(fr)
+		return
+	}
+	k := key{flow: fr.Flow, seq: h.origSeq}
+	st := r.pending[k]
+	if st == nil {
+		st = &state{got: make(map[int]bool), created: fr.Created}
+		r.pending[k] = st
+	}
+	if st.got[h.index] {
+		panic(fmt.Sprintf("frag: duplicate fragment %d of flow %d frame %d", h.index, fr.Flow, h.origSeq))
+	}
+	st.got[h.index] = true
+	if len(st.got) == h.total {
+		delete(r.pending, k)
+		r.Out.Deliver(&sim.Frame{
+			Flow:    fr.Flow,
+			Seq:     h.origSeq,
+			Bytes:   h.origBytes,
+			Kind:    fr.Kind,
+			Created: st.created,
+			Meta:    h.origMeta,
+		})
+	}
+}

@@ -1,0 +1,164 @@
+package frag_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eventq"
+	"repro/internal/frag"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+type capture struct{ frames []*sim.Frame }
+
+func (c *capture) Deliver(f *sim.Frame) { c.frames = append(c.frames, f) }
+
+func TestFragmentSizes(t *testing.T) {
+	var out capture
+	fr := frag.NewFragmenter(100, &out)
+	fr.Deliver(&sim.Frame{Flow: 1, Seq: 7, Bytes: 250, Created: 1.5})
+	if len(out.frames) != 3 {
+		t.Fatalf("fragments = %d, want 3", len(out.frames))
+	}
+	want := []float64{100, 100, 50}
+	total := 0.0
+	for i, f := range out.frames {
+		if f.Bytes != want[i] {
+			t.Errorf("fragment %d = %v bytes, want %v", i, f.Bytes, want[i])
+		}
+		if f.Created != 1.5 || f.Flow != 1 {
+			t.Error("fragment metadata lost")
+		}
+		total += f.Bytes
+	}
+	if total != 250 {
+		t.Errorf("total = %v", total)
+	}
+	if fr.Fragments() != 3 {
+		t.Errorf("Fragments() = %d", fr.Fragments())
+	}
+}
+
+func TestSmallFramesPassThrough(t *testing.T) {
+	var out capture
+	fr := frag.NewFragmenter(100, &out)
+	orig := &sim.Frame{Flow: 1, Seq: 1, Bytes: 100}
+	fr.Deliver(orig)
+	if len(out.frames) != 1 || out.frames[0] != orig {
+		t.Error("at-MTU frame should pass through unchanged")
+	}
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	var out capture
+	re := frag.NewReassembler(&out)
+	fr := frag.NewFragmenter(100, re)
+	fr.Deliver(&sim.Frame{Flow: 1, Seq: 42, Bytes: 333, Created: 2.5, Meta: "payload"})
+	if len(out.frames) != 1 {
+		t.Fatalf("reassembled = %d frames", len(out.frames))
+	}
+	got := out.frames[0]
+	if got.Seq != 42 || got.Bytes != 333 || got.Created != 2.5 || got.Meta != "payload" {
+		t.Errorf("reassembled frame = %+v", got)
+	}
+	if re.Pending() != 0 {
+		t.Errorf("pending = %d", re.Pending())
+	}
+}
+
+func TestReassembleInterleaved(t *testing.T) {
+	// Two originals of the same flow fragmented then delivered
+	// interleaved — both must reassemble.
+	var frags capture
+	fr := frag.NewFragmenter(100, &frags)
+	fr.Deliver(&sim.Frame{Flow: 1, Seq: 1, Bytes: 200})
+	fr.Deliver(&sim.Frame{Flow: 1, Seq: 2, Bytes: 200})
+
+	var out capture
+	re := frag.NewReassembler(&out)
+	order := []int{0, 2, 1, 3} // interleave the two frames' fragments
+	for _, i := range order {
+		re.Deliver(frags.frames[i])
+	}
+	if len(out.frames) != 2 {
+		t.Fatalf("reassembled = %d", len(out.frames))
+	}
+	if out.frames[0].Seq != 1 || out.frames[1].Seq != 2 {
+		t.Errorf("order = %d, %d", out.frames[0].Seq, out.frames[1].Seq)
+	}
+}
+
+func TestPendingTracksLoss(t *testing.T) {
+	var frags capture
+	fr := frag.NewFragmenter(100, &frags)
+	fr.Deliver(&sim.Frame{Flow: 1, Seq: 1, Bytes: 300})
+	var out capture
+	re := frag.NewReassembler(&out)
+	re.Deliver(frags.frames[0])
+	re.Deliver(frags.frames[2]) // fragment 1 "lost"
+	if len(out.frames) != 0 || re.Pending() != 1 {
+		t.Errorf("frames=%d pending=%d", len(out.frames), re.Pending())
+	}
+}
+
+// TestFragmentsOverLink: fragments traverse a real simulated link and
+// reassemble with correct end-to-end timing (Created spans the whole
+// path).
+func TestFragmentsOverLink(t *testing.T) {
+	q := &eventq.Queue{}
+	var out capture
+	re := frag.NewReassembler(&out)
+	sch := sched.NewFIFO()
+	if err := sch.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	link := sim.NewLink(q, "l", sch, server.NewConstantRate(100), re)
+	fr := frag.NewFragmenter(50, link)
+	q.At(1, func() { fr.Deliver(&sim.Frame{Flow: 1, Seq: 9, Bytes: 150, Created: q.Now()}) })
+	q.Run()
+	if len(out.frames) != 1 {
+		t.Fatalf("reassembled = %d", len(out.frames))
+	}
+	// 150 bytes at 100 B/s from t=1: done at 2.5.
+	if q.Now() != 2.5 || out.frames[0].Created != 1 {
+		t.Errorf("now=%v created=%v", q.Now(), out.frames[0].Created)
+	}
+}
+
+// Property: fragment + reassemble is the identity on (flow, seq, bytes,
+// created) for any MTU and frame size.
+func TestQuickRoundTripIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mtu := 1 + rng.Float64()*500
+		var out capture
+		re := frag.NewReassembler(&out)
+		fr := frag.NewFragmenter(mtu, re)
+		n := 1 + rng.Intn(20)
+		type sent struct {
+			seq   int64
+			bytes float64
+		}
+		var sents []sent
+		for i := 0; i < n; i++ {
+			b := 1 + rng.Float64()*2000
+			fr.Deliver(&sim.Frame{Flow: 1, Seq: int64(i), Bytes: b, Created: float64(i)})
+			sents = append(sents, sent{int64(i), b})
+		}
+		if len(out.frames) != n || re.Pending() != 0 {
+			return false
+		}
+		for i, f := range out.frames {
+			if f.Seq != sents[i].seq || f.Bytes != sents[i].bytes || f.Created != float64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package linkshare provides a declarative façade over the hierarchical
+// SFQ scheduler: a link-sharing structure (§3) is described as a tree of
+// named classes with weights and flow leaves, validated, and compiled into
+// a core.HSFQ. It also computes the per-class FC parameters implied by the
+// eq (65) recursion so callers can derive throughput and delay bounds for
+// any class in the tree.
+package linkshare
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/qos"
+	"repro/internal/server"
+)
+
+// Spec describes a class in the link-sharing structure. Exactly one of
+// Children or Flow is used: interior classes list children; leaf classes
+// name a flow.
+type Spec struct {
+	Name     string
+	Weight   float64
+	Children []Spec
+	Flow     int
+	IsFlow   bool
+
+	// LMax is the maximum packet length of the subtree (bytes), used only
+	// by the bound computation; 0 inherits the tree default.
+	LMax float64
+}
+
+// Class wraps a compiled class with its bound-related metadata.
+type Class struct {
+	Spec Spec
+	Node *core.Class
+	// FC is the fluctuation-constrained characterization of the
+	// bandwidth this class is guaranteed (eq 65), filled by Bounds.
+	FC server.FCParams
+
+	children []*Class
+}
+
+// Tree is a compiled link-sharing structure.
+type Tree struct {
+	Sched  *core.HSFQ
+	Root   *Class
+	byName map[string]*Class
+}
+
+// ErrDuplicateName reports two classes sharing a name.
+var ErrDuplicateName = errors.New("linkshare: duplicate class name")
+
+// Build validates and compiles a specification. The root spec's weight is
+// ignored (the root owns the whole link).
+func Build(root Spec) (*Tree, error) {
+	t := &Tree{Sched: core.NewHSFQ(), byName: make(map[string]*Class)}
+	rootClass := &Class{Spec: root, Node: t.Sched.Root()}
+	t.Root = rootClass
+	if root.Name == "" {
+		rootClass.Spec.Name = "root"
+	}
+	t.byName[rootClass.Spec.Name] = rootClass
+	for _, ch := range root.Children {
+		if err := t.build(rootClass, ch); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func (t *Tree) build(parent *Class, s Spec) error {
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("class-%d", len(t.byName))
+	}
+	if _, dup := t.byName[s.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateName, s.Name)
+	}
+	if s.IsFlow && len(s.Children) > 0 {
+		return fmt.Errorf("linkshare: class %q is both a flow and an aggregate", s.Name)
+	}
+	c := &Class{Spec: s}
+	if s.IsFlow {
+		if err := t.Sched.AddFlowTo(parent.Node, s.Flow, s.Weight); err != nil {
+			return err
+		}
+	} else {
+		node, err := t.Sched.NewClass(parent.Node, s.Name, s.Weight)
+		if err != nil {
+			return err
+		}
+		c.Node = node
+		for _, ch := range s.Children {
+			if err := t.build(c, ch); err != nil {
+				return err
+			}
+		}
+	}
+	parent.children = append(parent.children, c)
+	t.byName[s.Name] = c
+	return nil
+}
+
+// Lookup returns the class with the given name, or nil.
+func (t *Tree) Lookup(name string) *Class { return t.byName[name] }
+
+// Bounds propagates the eq (65) FC recursion down the tree: given the
+// link's FC parameters and a default maximum packet length, every class is
+// annotated with the FC parameters of its virtual server. Sibling weights
+// are interpreted as reserved rates at each level (the level's rates
+// should not exceed the parent's rate for the bounds to be meaningful).
+func (t *Tree) Bounds(link server.FCParams, defaultLMax float64) {
+	t.Root.FC = link
+	propagate(t.Root, defaultLMax)
+}
+
+func propagate(c *Class, defaultLMax float64) {
+	if len(c.children) == 0 {
+		return
+	}
+	sumLmax := 0.0
+	for _, ch := range c.children {
+		sumLmax += lmaxOf(ch, defaultLMax)
+	}
+	for _, ch := range c.children {
+		ch.FC = qos.SFQThroughputFC(c.FC, ch.Spec.Weight, lmaxOf(ch, defaultLMax), sumLmax)
+		propagate(ch, defaultLMax)
+	}
+}
+
+func lmaxOf(c *Class, def float64) float64 {
+	if c.Spec.LMax > 0 {
+		return c.Spec.LMax
+	}
+	return def
+}

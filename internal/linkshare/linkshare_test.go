@@ -1,0 +1,137 @@
+package linkshare_test
+
+import (
+	"testing"
+
+	"repro/internal/linkshare"
+	"repro/internal/qos"
+	"repro/internal/schedtest"
+	"repro/internal/server"
+)
+
+// spec3 is the Example 3 structure: root{A{C,D}, B}.
+func spec3() linkshare.Spec {
+	return linkshare.Spec{
+		Name: "root",
+		Children: []linkshare.Spec{
+			{Name: "A", Weight: 1, Children: []linkshare.Spec{
+				{Name: "C", Weight: 1, IsFlow: true, Flow: 3},
+				{Name: "D", Weight: 1, IsFlow: true, Flow: 4},
+			}},
+			{Name: "B", Weight: 1, IsFlow: true, Flow: 2},
+		},
+	}
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	tree, err := linkshare.Build(spec3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Lookup("A") == nil || tree.Lookup("C") == nil || tree.Lookup("B") == nil {
+		t.Fatal("lookup failed")
+	}
+	if tree.Lookup("missing") != nil {
+		t.Error("phantom class")
+	}
+	if tree.Sched == nil || tree.Root == nil {
+		t.Error("tree incomplete")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	dup := linkshare.Spec{Children: []linkshare.Spec{
+		{Name: "x", Weight: 1, IsFlow: true, Flow: 1},
+		{Name: "x", Weight: 1, IsFlow: true, Flow: 2},
+	}}
+	if _, err := linkshare.Build(dup); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	both := linkshare.Spec{Children: []linkshare.Spec{
+		{Name: "y", Weight: 1, IsFlow: true, Flow: 1,
+			Children: []linkshare.Spec{{Name: "z", Weight: 1, IsFlow: true, Flow: 2}}},
+	}}
+	if _, err := linkshare.Build(both); err == nil {
+		t.Error("flow-with-children accepted")
+	}
+	badWeight := linkshare.Spec{Children: []linkshare.Spec{
+		{Name: "w", Weight: 0, IsFlow: true, Flow: 1},
+	}}
+	if _, err := linkshare.Build(badWeight); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+func TestTreeSchedules(t *testing.T) {
+	tree, err := linkshare.Build(spec3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []schedtest.Arrival
+	for i := 0; i < 90; i++ {
+		for _, f := range []int{2, 3, 4} {
+			arr = append(arr, schedtest.Arrival{At: 0, Flow: f, Bytes: 100})
+		}
+	}
+	res := schedtest.Drive(tree.Sched, server.NewConstantRate(1000), arr)
+	end := res.Mon.BackloggedIntervals(2)[0].End
+	wb := res.Mon.ServiceCurve(2).Delta(0, end)
+	wc := res.Mon.ServiceCurve(3).Delta(0, end)
+	wd := res.Mon.ServiceCurve(4).Delta(0, end)
+	tot := wb + wc + wd
+	if f := wb / tot; f < 0.45 || f > 0.55 {
+		t.Errorf("B share %v, want ≈ 0.5", f)
+	}
+	if f := wc / tot; f < 0.2 || f > 0.3 {
+		t.Errorf("C share %v, want ≈ 0.25", f)
+	}
+	if f := wd / tot; f < 0.2 || f > 0.3 {
+		t.Errorf("D share %v, want ≈ 0.25", f)
+	}
+}
+
+func TestBoundsRecursion(t *testing.T) {
+	tree, err := linkshare.Build(spec3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := server.FCParams{C: 1000, Delta: 50}
+	tree.Bounds(link, 100)
+
+	a := tree.Lookup("A")
+	if a.FC.C != 1 { // weight interpreted as reserved rate
+		t.Errorf("A rate = %v", a.FC.C)
+	}
+	// A's delta per eq (65): r·Σl/C + r·δ/C + l.
+	want := qos.SFQThroughputFC(link, 1, 100, 200)
+	if a.FC != want {
+		t.Errorf("A FC = %+v, want %+v", a.FC, want)
+	}
+	// C's bound nests from A's.
+	c := tree.Lookup("C")
+	wantC := qos.SFQThroughputFC(a.FC, 1, 100, 200)
+	if c.FC != wantC {
+		t.Errorf("C FC = %+v, want %+v", c.FC, wantC)
+	}
+	// Root carries the link itself.
+	if tree.Root.FC != link {
+		t.Errorf("root FC = %+v", tree.Root.FC)
+	}
+}
+
+func TestCustomLMax(t *testing.T) {
+	spec := linkshare.Spec{Children: []linkshare.Spec{
+		{Name: "big", Weight: 1, IsFlow: true, Flow: 1, LMax: 9000},
+		{Name: "small", Weight: 1, IsFlow: true, Flow: 2, LMax: 100},
+	}}
+	tree, err := linkshare.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Bounds(server.FCParams{C: 1000}, 500)
+	big := tree.Lookup("big")
+	small := tree.Lookup("small")
+	if big.FC.Delta <= small.FC.Delta {
+		t.Error("larger packets should give a larger burst term")
+	}
+}

@@ -1,0 +1,60 @@
+package qos
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEBBEntryDelayTail(t *testing.T) {
+	p := EBBParams{Rho: 100, Sigma: 500, Lambda: 2, Alpha: 0.01}
+	d, pr := p.EntryDelayTail(200, 0)
+	if d != 2.5 || pr != 1 {
+		t.Errorf("γ=0: (%v, %v), want (2.5, 1 clamped)", d, pr)
+	}
+	d, pr = p.EntryDelayTail(200, 100)
+	if d != 3 {
+		t.Errorf("delay = %v, want 3", d)
+	}
+	if math.Abs(pr-2*math.Exp(-1)) > 1e-12 {
+		t.Errorf("prob = %v", pr)
+	}
+	// Served at or below ρ: no bound.
+	if d, pr := p.EntryDelayTail(100, 10); !math.IsInf(d, 1) || pr != 1 {
+		t.Errorf("under-served flow should have no bound: (%v, %v)", d, pr)
+	}
+}
+
+func TestLeakyBucketAsEBB(t *testing.T) {
+	p := LeakyBucketAsEBB(1000, 100)
+	d, pr := p.EntryDelayTail(200, 0)
+	if d != 5 {
+		t.Errorf("delay = %v, want σ/r = 5", d)
+	}
+	if pr != 0 {
+		t.Errorf("deterministic constraint should have zero tail, got %v", pr)
+	}
+	// A.5's σ/r bound matches LeakyBucketE2EDelay when composed.
+	delay, prob := EBBEndToEnd(p, 200, 100, 0.5, 0, 0, 0, 0)
+	want := LeakyBucketE2EDelay(1000, 200, 100, 0.5)
+	if math.Abs(delay-want) > 1e-12 || prob != 0 {
+		t.Errorf("composition = (%v, %v), want (%v, 0)", delay, prob, want)
+	}
+}
+
+func TestEBBEndToEndUnionBound(t *testing.T) {
+	flow := EBBParams{Rho: 100, Sigma: 500, Lambda: 1, Alpha: 0.01}
+	// Network part: B_tot = 0.5, Σ1/λ = 0.1 s.
+	delay, prob := EBBEndToEnd(flow, 200, 100, 0.2, 0.5, 0.1, 100, 0.1)
+	wantDelay := (500.0+100)/200 - 100.0/200 + 0.2 + 0.1
+	if math.Abs(delay-wantDelay) > 1e-12 {
+		t.Errorf("delay = %v, want %v", delay, wantDelay)
+	}
+	wantProb := math.Exp(-1) + 0.5*math.Exp(-1)
+	if math.Abs(prob-wantProb) > 1e-12 {
+		t.Errorf("prob = %v, want %v", prob, wantProb)
+	}
+	// Clamped at 1 for tiny γ.
+	if _, p := EBBEndToEnd(flow, 200, 100, 0.2, 5, 0.1, 0, 0); p != 1 {
+		t.Errorf("prob should clamp at 1, got %v", p)
+	}
+}

@@ -1,0 +1,42 @@
+package qos_test
+
+import (
+	"fmt"
+
+	"repro/internal/qos"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// Theorem 4's single-server delay bound for a packet on a constant-rate
+// link (δ = 0): EAT + Σ_{n≠f} l_n^max/C + l/C.
+func ExampleSFQDelayBound() {
+	fc := server.FCParams{C: units.Mbps(100)}
+	var eat qos.EAT
+	first := eat.Next(0 /* arrival */, 200 /* bytes */, units.Kbps(64))
+	bound := qos.SFQDelayBound(fc, first, 200, 269*200 /* Σ other l_max */)
+	fmt.Printf("departs within %.2f ms of its expected arrival\n", units.ToMillis(bound-first))
+	// Output:
+	// departs within 4.32 ms of its expected arrival
+}
+
+// Corollary 1 composes per-hop guarantees into an end-to-end bound.
+func ExampleEndToEnd() {
+	hop := qos.SFQServerSpec(units.Mbps(1), 0, 500, 1000, 0, 0, 0.002)
+	d, btot, _ := qos.EndToEnd([]qos.ServerSpec{hop, hop, hop})
+	fmt.Printf("3 hops: %.1f ms, deterministic=%v\n", units.ToMillis(d), btot == 0)
+	// Output:
+	// 3 hops: 40.0 ms, deterministic=true
+}
+
+// Equation 65's recursion: the service an SFQ server guarantees a class
+// is itself fluctuation constrained, so bounds nest down a share tree.
+func ExampleSFQThroughputFC() {
+	link := server.FCParams{C: 1000, Delta: 0}
+	class := qos.SFQThroughputFC(link, 400 /* class rate */, 100, 300 /* Σ l_max */)
+	sub := qos.SFQThroughputFC(class, 100, 100, 200)
+	fmt.Printf("class FC(%.0f, %.0f) -> subclass FC(%.0f, %.0f)\n",
+		class.C, class.Delta, sub.C, sub.Delta)
+	// Output:
+	// class FC(400, 220) -> subclass FC(100, 205)
+}

@@ -1,0 +1,65 @@
+package qos
+
+import "sort"
+
+// This file implements the Section 2.3 capacity condition for the
+// generalized (variable per-packet rate) SFQ: the rate function of flow f
+// at virtual time v is
+//
+//	R_f(v) = r_f^j  if ∃j: S(p_f^j) <= v < F(p_f^j), else 0
+//
+// and a server of average rate C has exceeded its capacity at v if
+// Σ_n R_n(v) > C. Theorems 4 and 5 require Σ_n R_n(v) <= C for all v.
+
+// TaggedPacket is the (start tag, finish tag, rate) triple of one packet
+// as stamped by the scheduler.
+type TaggedPacket struct {
+	Flow          int
+	Start, Finish float64
+	Rate          float64
+}
+
+// RateAt evaluates Σ_n R_n(v) at virtual time v.
+func RateAt(pkts []TaggedPacket, v float64) float64 {
+	sum := 0.0
+	seen := map[int]bool{}
+	for _, p := range pkts {
+		if p.Start <= v && v < p.Finish && !seen[p.Flow] {
+			// Within a flow, tag intervals [S, F) abut without
+			// overlapping (S_{j+1} >= F_j), so at most one packet per
+			// flow is active at any v.
+			sum += p.Rate
+			seen[p.Flow] = true
+		}
+	}
+	return sum
+}
+
+// MaxAggregateRate returns the maximum of Σ_n R_n(v) over all v, together
+// with a virtual time where the maximum is attained. The aggregate is
+// piecewise constant with breakpoints at start tags, so scanning the
+// starts is exact.
+func MaxAggregateRate(pkts []TaggedPacket) (maxRate, atV float64) {
+	if len(pkts) == 0 {
+		return 0, 0
+	}
+	vs := make([]float64, 0, len(pkts))
+	for _, p := range pkts {
+		vs = append(vs, p.Start)
+	}
+	sort.Float64s(vs)
+	for _, v := range vs {
+		if r := RateAt(pkts, v); r > maxRate {
+			maxRate = r
+			atV = v
+		}
+	}
+	return maxRate, atV
+}
+
+// CapacityRespected reports whether Σ_n R_n(v) <= c for all v — the
+// precondition of Theorems 4 and 5 for the generalized SFQ.
+func CapacityRespected(pkts []TaggedPacket, c float64) bool {
+	m, _ := MaxAggregateRate(pkts)
+	return m <= c+1e-9
+}

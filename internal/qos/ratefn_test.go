@@ -1,0 +1,81 @@
+package qos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateAt(t *testing.T) {
+	pkts := []TaggedPacket{
+		{Flow: 1, Start: 0, Finish: 2, Rate: 100},
+		{Flow: 1, Start: 2, Finish: 3, Rate: 400}, // rate change at v=2
+		{Flow: 2, Start: 1, Finish: 4, Rate: 50},
+	}
+	cases := []struct {
+		v    float64
+		want float64
+	}{
+		{-1, 0}, {0, 100}, {0.5, 100}, {1, 150}, {2, 450}, {3, 50}, {4, 0},
+	}
+	for _, c := range cases {
+		if got := RateAt(pkts, c.v); got != c.want {
+			t.Errorf("RateAt(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMaxAggregateRate(t *testing.T) {
+	pkts := []TaggedPacket{
+		{Flow: 1, Start: 0, Finish: 2, Rate: 100},
+		{Flow: 2, Start: 1, Finish: 4, Rate: 50},
+		{Flow: 3, Start: 1.5, Finish: 1.6, Rate: 500},
+	}
+	m, at := MaxAggregateRate(pkts)
+	if m != 650 || at != 1.5 {
+		t.Errorf("max = %v at %v, want 650 at 1.5", m, at)
+	}
+	if m, _ := MaxAggregateRate(nil); m != 0 {
+		t.Errorf("empty max = %v", m)
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	pkts := []TaggedPacket{
+		{Flow: 1, Start: 0, Finish: 1, Rate: 600},
+		{Flow: 2, Start: 0, Finish: 1, Rate: 400},
+	}
+	if !CapacityRespected(pkts, 1000) {
+		t.Error("exactly C should be respected")
+	}
+	if CapacityRespected(pkts, 999) {
+		t.Error("above C should be rejected")
+	}
+}
+
+// Property: per-flow chained tags (S_{j+1} = F_j) with rates summing to
+// <= C per flow set always respect capacity.
+func TestQuickChainedTagsRespectCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var pkts []TaggedPacket
+		nf := 1 + rng.Intn(4)
+		budget := 1000.0
+		for fl := 1; fl <= nf; fl++ {
+			r := budget / float64(nf) * (0.5 + rng.Float64()*0.5)
+			v := rng.Float64()
+			for j := 0; j < 10; j++ {
+				l := 1 + rng.Float64()*100
+				pkts = append(pkts, TaggedPacket{Flow: fl, Start: v, Finish: v + l/r, Rate: r})
+				v += l / r
+				if rng.Intn(4) == 0 {
+					v += rng.Float64() // idle gap: S > F_prev
+				}
+			}
+		}
+		return CapacityRespected(pkts, budget)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

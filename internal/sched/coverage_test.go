@@ -1,0 +1,173 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// Exercises the bookkeeping paths the behavioural tests don't reach:
+// flow-removal on every algorithm, Peek, QueuedCount, constructor
+// validation, and Priority's default-level routing.
+
+func TestRemoveFlowEverywhere(t *testing.T) {
+	mks := map[string]func() sched.Interface{
+		"SCFQ": func() sched.Interface { return sched.NewSCFQ() },
+		"VC":   func() sched.Interface { return sched.NewVirtualClock() },
+		"EDD":  func() sched.Interface { return sched.NewEDD() },
+		"FIFO": func() sched.Interface { return sched.NewFIFO() },
+	}
+	for name, mk := range mks {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if err := s.RemoveFlow(1); err == nil {
+				t.Error("removing an unknown flow should fail")
+			}
+			if err := s.AddFlow(1, 100); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Enqueue(0, &sched.Packet{Flow: 1, Length: 50}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.RemoveFlow(1); err == nil {
+				t.Error("removing a backlogged flow should fail")
+			}
+			if _, ok := s.Dequeue(0); !ok {
+				t.Fatal("dequeue")
+			}
+			if err := s.RemoveFlow(1); err != nil {
+				t.Errorf("removing an idle flow: %v", err)
+			}
+			// Time-went-back guard.
+			if err := s.AddFlow(2, 100); err != nil {
+				t.Fatal(err)
+			}
+			s.Dequeue(10)
+			if err := s.Enqueue(5, &sched.Packet{Flow: 2, Length: 1}); err == nil {
+				t.Error("time going backwards accepted")
+			}
+		})
+	}
+}
+
+func TestTagHeapPeek(t *testing.T) {
+	var h sched.TagHeap
+	if p, k := h.Peek(); p != nil || k != 0 {
+		t.Error("empty Peek should return nil")
+	}
+	a := &sched.Packet{Seq: 1}
+	b := &sched.Packet{Seq: 2}
+	h.PushTag(5, a)
+	h.PushTag(3, b)
+	p, k := h.Peek()
+	if p != b || k != 3 {
+		t.Errorf("Peek = (%v, %v)", p.Seq, k)
+	}
+	if h.Len() != 2 {
+		t.Error("Peek must not consume")
+	}
+}
+
+func TestFlowTableQueuedCount(t *testing.T) {
+	ft := sched.NewFlowTable()
+	if err := ft.Add(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	p := &sched.Packet{Flow: 1, Length: 5}
+	ft.OnEnqueue(p)
+	ft.OnEnqueue(p)
+	if ft.QueuedCount(1) != 2 {
+		t.Errorf("QueuedCount = %d", ft.QueuedCount(1))
+	}
+	ft.OnDequeue(p)
+	ft.OnDequeue(p)
+	if ft.QueuedCount(1) != 0 || ft.QueuedBytes(1) != 0 {
+		t.Error("counters should return to zero")
+	}
+	if err := ft.Add(2, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := map[string]func(){
+		"DRR":       func() { sched.NewDRR(0) },
+		"WFQ":       func() { sched.NewWFQ(0) },
+		"Priority":  func() { sched.NewPriority() },
+		"WFQOracle": func() { sched.NewWFQOracle(func(float64) float64 { return 1 }, 0) },
+	}
+	for name, bad := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: invalid constructor args accepted", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestEDDAddFlowDeadlineValidation(t *testing.T) {
+	s := sched.NewEDD()
+	if err := s.AddFlowDeadline(1, 100, -1); err == nil {
+		t.Error("negative deadline accepted")
+	}
+	if err := s.AddFlowDeadline(1, 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestPriorityDefaultAndQueuedBytes(t *testing.T) {
+	hi := sched.NewFIFO()
+	lo := sched.NewFIFO()
+	s := sched.NewPriority(hi, lo)
+	// Plain AddFlow lands on the lowest level.
+	if err := s.AddFlow(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(0, &sched.Packet{Flow: 7, Length: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if s.QueuedBytes(7) != 42 {
+		t.Errorf("QueuedBytes = %v", s.QueuedBytes(7))
+	}
+	if s.QueuedBytes(99) != 0 {
+		t.Error("unknown flow should report 0 bytes")
+	}
+	if lo.Len() != 1 || hi.Len() != 0 {
+		t.Error("AddFlow should route to the lowest level")
+	}
+	if err := s.Enqueue(0, &sched.Packet{Flow: 99, Length: 1}); err == nil {
+		t.Error("unknown flow accepted")
+	}
+	if err := s.RemoveFlow(99); err == nil {
+		t.Error("unknown removal accepted")
+	}
+	if _, ok := s.Dequeue(0); !ok {
+		t.Fatal("dequeue")
+	}
+	if err := s.RemoveFlow(7); err != nil {
+		t.Errorf("RemoveFlow: %v", err)
+	}
+}
+
+func TestWFQOracleV(t *testing.T) {
+	s := sched.NewWFQOracle(func(float64) float64 { return 100 }, 1e-3)
+	if err := s.AddFlow(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if s.V() != 0 {
+		t.Error("initial V")
+	}
+	if err := s.Enqueue(0, &sched.Packet{Flow: 1, Length: 100}); err != nil {
+		t.Fatal(err)
+	}
+	s.Dequeue(0.5)
+	if s.V() <= 0 {
+		t.Error("V should advance while the fluid system is backlogged")
+	}
+	if s.QueuedBytes(1) != 0 {
+		t.Error("queue should be empty after dequeue")
+	}
+}

@@ -1,0 +1,272 @@
+package sched
+
+import (
+	"container/heap"
+	"math"
+)
+
+// FairAirport implements the Fair Airport (FA) scheduler of Appendix B: a
+// work-conserving combination of a per-flow rate regulator, a Virtual
+// Clock Guaranteed Service Queue (GSQ), and an SFQ Auxiliary Service Queue
+// (ASQ). Every arriving packet joins both the regulator and the ASQ; when
+// its regulator release time EAT^RC passes, it moves to the GSQ (unless
+// the ASQ already served it). The server gives strict priority to the GSQ.
+//
+// The result (Theorems 8 and 9): the delay guarantee of WFQ
+// (EAT + l/r + l_max/C) together with fair allocation of bandwidth — even
+// over variable-rate links — at the implementation cost of a non
+// work-conserving dynamic-priority scheduler.
+//
+// Rule 5 of the algorithm is the subtle part: when the GSQ serves a packet
+// that is still queued in the ASQ, the *start tag of the flow's next ASQ
+// packet is set to the start tag of the packet being removed*, so GSQ
+// service does not charge the flow in ASQ currency.
+type FairAirport struct {
+	flows FlowTable
+	state map[int]*faFlow
+
+	gsq TagHeap // promoted packets, keyed by Virtual Clock stamp
+	asq TagHeap // flow-head packets, keyed by ASQ (SFQ) start tag; lazy deletion
+
+	reg faRegHeap // regulator heads, keyed by release time EAT^RC
+
+	asqV         float64
+	asqMaxFinish float64
+	busy         bool
+
+	total int
+	last  float64
+}
+
+// faEntry is a packet inside a Fair Airport server.
+type faEntry struct {
+	p        *Packet
+	eat      float64 // EAT^RC: regulator release time (set when it becomes the regulator head)
+	inGSQ    bool
+	served   bool
+	asqStart float64
+	asqF     float64
+}
+
+type faFlow struct {
+	q       []*faEntry
+	headIdx int     // first unserved entry
+	regIdx  int     // entry whose release event is (or was) in the regulator heap; len(q) if none
+	gen     int     // bumped when q is compacted, invalidating old release events
+	gsqBase float64 // EAT^RC chain: earliest release of the next packet to enter GSQ
+	asqBase float64 // baseline for the next arrival's ASQ start tag
+}
+
+type faRegEvent struct {
+	eat  float64
+	seq  uint64
+	flow int
+	idx  int
+	gen  int
+}
+
+type faRegHeap struct {
+	es  []faRegEvent
+	seq uint64
+}
+
+func (h *faRegHeap) Len() int { return len(h.es) }
+func (h *faRegHeap) Less(i, j int) bool {
+	if h.es[i].eat != h.es[j].eat {
+		return h.es[i].eat < h.es[j].eat
+	}
+	return h.es[i].seq < h.es[j].seq
+}
+func (h *faRegHeap) Swap(i, j int) { h.es[i], h.es[j] = h.es[j], h.es[i] }
+func (h *faRegHeap) Push(x any)    { h.es = append(h.es, x.(faRegEvent)) }
+func (h *faRegHeap) Pop() any {
+	old := h.es
+	n := len(old)
+	e := old[n-1]
+	h.es = old[:n-1]
+	return e
+}
+func (h *faRegHeap) push(eat float64, flow, idx, gen int) {
+	h.seq++
+	heap.Push(h, faRegEvent{eat: eat, seq: h.seq, flow: flow, idx: idx, gen: gen})
+}
+
+// NewFairAirport returns an empty Fair Airport scheduler.
+func NewFairAirport() *FairAirport {
+	return &FairAirport{flows: NewFlowTable(), state: make(map[int]*faFlow)}
+}
+
+// AddFlow registers flow with reserved rate `weight` (bytes/second).
+func (s *FairAirport) AddFlow(flow int, weight float64) error {
+	if err := s.flows.Add(flow, weight); err != nil {
+		return err
+	}
+	if _, ok := s.state[flow]; !ok {
+		s.state[flow] = &faFlow{gsqBase: math.Inf(-1)}
+	}
+	return nil
+}
+
+// RemoveFlow unregisters an idle flow.
+func (s *FairAirport) RemoveFlow(flow int) error {
+	if err := s.flows.Remove(flow); err != nil {
+		return err
+	}
+	delete(s.state, flow)
+	return nil
+}
+
+// Enqueue adds p to the flow's regulator and to the ASQ (rules 1–2).
+func (s *FairAirport) Enqueue(now float64, p *Packet) error {
+	if now < s.last {
+		return ErrTimeWentBack
+	}
+	s.last = now
+	w, err := s.flows.CheckPacket(p)
+	if err != nil {
+		return err
+	}
+	r := EffRate(p, w)
+	f := s.state[p.Flow]
+	e := &faEntry{p: p}
+	f.q = append(f.q, e)
+
+	// ASQ head bookkeeping: if this packet is the flow's only unserved
+	// packet it becomes the ASQ head now (eq 4 with the ASQ virtual time).
+	if f.headIdx == len(f.q)-1 {
+		e.asqStart = math.Max(s.asqV, f.asqBase)
+		e.asqF = e.asqStart + p.Length/r
+		p.VirtualStart = e.asqStart
+		p.VirtualFinish = e.asqF
+		s.asq.PushTag(e.asqStart, p)
+	}
+
+	// Regulator bookkeeping: if the regulator has no pending release for
+	// this flow, this packet becomes the regulator head (eq 120).
+	if f.regIdx == len(f.q)-1 {
+		e.eat = math.Max(p.Arrival, f.gsqBase)
+		s.reg.push(e.eat, p.Flow, f.regIdx, f.gen)
+	}
+
+	s.flows.OnEnqueue(p)
+	s.total++
+	return nil
+}
+
+// promote moves every regulator head whose release time has passed into
+// the GSQ, chaining successive release events (rule 2 / eq 120).
+func (s *FairAirport) promote(now float64) {
+	for s.reg.Len() > 0 && s.reg.es[0].eat <= now {
+		ev := heap.Pop(&s.reg).(faRegEvent)
+		f := s.state[ev.flow]
+		if f == nil || ev.gen != f.gen || ev.idx >= len(f.q) || ev.idx != f.regIdx {
+			continue // stale after compaction, service, or flow removal
+		}
+		e := f.q[ev.idx]
+		if !e.served && !e.inGSQ {
+			// Release into the GSQ with the Virtual Clock stamp
+			// EAT^GSQ + l/r, where EAT^GSQ = EAT^RC (rule 3, eq 139).
+			e.inGSQ = true
+			r := EffRate(e.p, s.flows.Weights[ev.flow])
+			stamp := e.eat + e.p.Length/r
+			f.gsqBase = stamp
+			s.gsq.PushTag(stamp, e.p)
+		}
+		// Advance the regulator to the next unserved, unpromoted packet.
+		f.regIdx = ev.idx + 1
+		for f.regIdx < len(f.q) && (f.q[f.regIdx].served || f.q[f.regIdx].inGSQ) {
+			f.regIdx++
+		}
+		if f.regIdx < len(f.q) {
+			next := f.q[f.regIdx]
+			next.eat = math.Max(next.p.Arrival, f.gsqBase)
+			s.reg.push(next.eat, ev.flow, f.regIdx, f.gen)
+		}
+	}
+}
+
+// Dequeue serves the GSQ if it is backlogged, otherwise the ASQ (rule 6).
+func (s *FairAirport) Dequeue(now float64) (*Packet, bool) {
+	if now > s.last {
+		s.last = now
+	}
+	s.promote(now)
+
+	if s.total == 0 {
+		if s.busy {
+			s.busy = false
+			s.asqV = s.asqMaxFinish
+		}
+		return nil, false
+	}
+	s.busy = true
+
+	if s.gsq.Len() > 0 {
+		p := s.gsq.PopMin()
+		s.finishService(p, true)
+		return p, true
+	}
+
+	// ASQ service with lazy deletion of entries already served via GSQ.
+	for {
+		p := s.asq.PopMin()
+		f := s.state[p.Flow]
+		if f == nil || f.headIdx >= len(f.q) {
+			continue // flow removed or queue drained: stale entry
+		}
+		e := f.q[f.headIdx] // the ASQ heap only ever holds flow heads
+		if e.p != p || e.served {
+			continue
+		}
+		s.asqV = e.asqStart
+		s.finishService(p, false)
+		return p, true
+	}
+}
+
+// finishService marks the flow head served via the given route and sets up
+// the flow's next head (rule 5 for GSQ service).
+func (s *FairAirport) finishService(p *Packet, viaGSQ bool) {
+	f := s.state[p.Flow]
+	e := f.q[f.headIdx]
+	e.served = true
+	if e.asqF > s.asqMaxFinish {
+		s.asqMaxFinish = e.asqF
+	}
+
+	// Advance the head and assign the next packet's ASQ tags.
+	f.headIdx++
+	var nextStart float64
+	if viaGSQ {
+		// Rule 5: the next ASQ packet inherits the removed packet's
+		// start tag — GSQ service is free in ASQ currency.
+		nextStart = e.asqStart
+	} else {
+		nextStart = e.asqF // max(asqV, e.asqF) == e.asqF since asqV == e.asqStart
+	}
+	if f.headIdx < len(f.q) {
+		next := f.q[f.headIdx]
+		r := EffRate(next.p, s.flows.Weights[p.Flow])
+		next.asqStart = nextStart
+		next.asqF = nextStart + next.p.Length/r
+		next.p.VirtualStart = next.asqStart
+		next.p.VirtualFinish = next.asqF
+		s.asq.PushTag(next.asqStart, next.p)
+	} else {
+		// Queue drained: compact and remember the tag baseline.
+		f.q = f.q[:0]
+		f.headIdx = 0
+		f.regIdx = 0
+		f.gen++
+		f.asqBase = nextStart
+	}
+
+	s.flows.OnDequeue(p)
+	s.total--
+}
+
+// Len returns the number of queued packets.
+func (s *FairAirport) Len() int { return s.total }
+
+// QueuedBytes returns the bytes queued for flow.
+func (s *FairAirport) QueuedBytes(flow int) float64 { return s.flows.QueuedBytes(flow) }

@@ -1,0 +1,75 @@
+package sched
+
+import "container/heap"
+
+// TagHeap is a min-heap of packets ordered by a float64 key (a virtual tag,
+// timestamp, or deadline) with FIFO tie-breaking among equal keys. The
+// fair-queuing family uses it with start or finish tags as keys.
+type TagHeap struct {
+	items  []tagItem
+	serial uint64
+}
+
+type tagItem struct {
+	key    float64
+	sub    float64 // secondary key used by configurable tie-breaking rules
+	serial uint64
+	p      *Packet
+}
+
+// Len returns the number of queued packets.
+func (q *TagHeap) Len() int { return len(q.items) }
+
+// Less orders by key, then secondary key, then insertion order.
+func (q *TagHeap) Less(i, j int) bool {
+	if q.items[i].key != q.items[j].key {
+		return q.items[i].key < q.items[j].key
+	}
+	if q.items[i].sub != q.items[j].sub {
+		return q.items[i].sub < q.items[j].sub
+	}
+	return q.items[i].serial < q.items[j].serial
+}
+
+// Swap exchanges two items.
+func (q *TagHeap) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+// Push is part of heap.Interface; use PushTag instead.
+func (q *TagHeap) Push(x any) { q.items = append(q.items, x.(tagItem)) }
+
+// Pop is part of heap.Interface; use PopMin instead.
+func (q *TagHeap) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = tagItem{}
+	q.items = old[:n-1]
+	return it
+}
+
+// PushTag adds p with the given key, preserving FIFO order among equal keys.
+func (q *TagHeap) PushTag(key float64, p *Packet) {
+	q.serial++
+	heap.Push(q, tagItem{key: key, serial: q.serial, p: p})
+}
+
+// PushTagSub adds p with a primary and a secondary key; ties on both keys
+// fall back to FIFO order.
+func (q *TagHeap) PushTagSub(key, sub float64, p *Packet) {
+	q.serial++
+	heap.Push(q, tagItem{key: key, sub: sub, serial: q.serial, p: p})
+}
+
+// PopMin removes and returns the minimum-key packet.
+func (q *TagHeap) PopMin() *Packet {
+	return heap.Pop(q).(tagItem).p
+}
+
+// Peek returns the minimum-key packet and its key without removing it.
+// It returns (nil, 0) when empty.
+func (q *TagHeap) Peek() (*Packet, float64) {
+	if len(q.items) == 0 {
+		return nil, 0
+	}
+	return q.items[0].p, q.items[0].key
+}

@@ -1,0 +1,90 @@
+package sched
+
+import "math"
+
+// SCFQ is Self-Clocked Fair Queuing [4, 8]: packets are stamped with start
+// and finish tags like WFQ, but the system virtual time is approximated by
+// the finish tag of the packet in service, and packets are transmitted in
+// increasing order of finish tags. This removes the fluid GPS simulation
+// (making it as cheap as SFQ) at the cost of the larger delay bound of
+// eq (56) — the l_f/r_f term that SFQ's start-tag ordering eliminates.
+type SCFQ struct {
+	flows      FlowTable
+	heap       TagHeap
+	v          float64
+	maxFinish  float64
+	busy       bool
+	lastFinish map[int]float64
+	last       float64
+}
+
+// NewSCFQ returns an empty SCFQ scheduler.
+func NewSCFQ() *SCFQ {
+	return &SCFQ{flows: NewFlowTable(), lastFinish: make(map[int]float64)}
+}
+
+// AddFlow registers flow with the given weight (bytes/second).
+func (s *SCFQ) AddFlow(flow int, weight float64) error { return s.flows.Add(flow, weight) }
+
+// RemoveFlow unregisters an idle flow.
+func (s *SCFQ) RemoveFlow(flow int) error {
+	if err := s.flows.Remove(flow); err != nil {
+		return err
+	}
+	delete(s.lastFinish, flow)
+	return nil
+}
+
+// V returns the current system virtual time (finish tag of the packet in
+// service).
+func (s *SCFQ) V() float64 { return s.v }
+
+// Enqueue stamps p and queues it by finish tag.
+func (s *SCFQ) Enqueue(now float64, p *Packet) error {
+	if now < s.last {
+		return ErrTimeWentBack
+	}
+	s.last = now
+	w, err := s.flows.CheckPacket(p)
+	if err != nil {
+		return err
+	}
+	r := EffRate(p, w)
+	start := math.Max(s.v, s.lastFinish[p.Flow])
+	finish := start + p.Length/r
+	p.VirtualStart = start
+	p.VirtualFinish = finish
+	s.lastFinish[p.Flow] = finish
+	s.heap.PushTag(finish, p)
+	s.flows.OnEnqueue(p)
+	return nil
+}
+
+// Dequeue returns the packet with the minimum finish tag and sets the
+// system virtual time to that tag.
+func (s *SCFQ) Dequeue(now float64) (*Packet, bool) {
+	if now > s.last {
+		s.last = now
+	}
+	if s.heap.Len() == 0 {
+		if s.busy {
+			s.busy = false
+			s.v = s.maxFinish
+		}
+		return nil, false
+	}
+	p := s.heap.PopMin()
+	s.busy = true
+	s.v = p.VirtualFinish
+	if p.VirtualFinish > s.maxFinish {
+		s.maxFinish = p.VirtualFinish
+	}
+	s.flows.OnDequeue(p)
+	return p, true
+}
+
+// Len returns the number of queued packets.
+func (s *SCFQ) Len() int { return s.heap.Len() }
+
+// QueuedBytes returns the bytes queued for flow.
+func (s *SCFQ) QueuedBytes(flow int) float64 { return s.flows.QueuedBytes(flow) }

@@ -1,0 +1,166 @@
+// Package sched defines the packet-scheduler contract shared by every
+// scheduling algorithm in this repository and implements the baseline
+// algorithms the SFQ paper compares against: WFQ (PGPS), FQS, SCFQ, DRR,
+// Virtual Clock, Delay EDD, FIFO, strict priority, and the Fair Airport
+// scheduler of Appendix B. The paper's own contribution — SFQ and
+// hierarchical SFQ — lives in internal/core.
+//
+// Time convention: the component that owns the output link drives the
+// scheduler. It calls Enqueue(now, p) when a packet arrives and
+// Dequeue(now) exactly when the output becomes free, so the packet most
+// recently returned by Dequeue is "the packet in service" — the quantity
+// that defines the system virtual time v(t) for the self-clocked
+// algorithms (SFQ, SCFQ). A Dequeue that returns ok == false marks the end
+// of a busy period.
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Packet carries the scheduling metadata for one packet. Length is in
+// bytes, times in seconds, rates/weights in bytes per second.
+type Packet struct {
+	Flow    int     // flow identifier, as registered with AddFlow
+	Seq     int64   // per-flow sequence number (informational)
+	Length  float64 // bytes; must be > 0
+	Arrival float64 // time the packet arrived at this scheduler
+	Rate    float64 // optional per-packet rate r_f^j (eq 36); 0 ⇒ flow weight
+
+	// Payload is opaque data carried through the scheduler (the simulator
+	// stores its frame here).
+	Payload any
+
+	// Tags computed by the scheduler on Enqueue, exported for
+	// observability and tests. Their meaning depends on the algorithm:
+	// start/finish tags for the fair queuing family, timestamp for
+	// Virtual Clock (in VirtualFinish), deadline for Delay EDD.
+	VirtualStart  float64
+	VirtualFinish float64
+	Deadline      float64
+}
+
+// Interface is the contract every scheduler implements.
+type Interface interface {
+	// AddFlow registers a flow with the given weight (bytes per second
+	// for the rate-oriented algorithms). Weights must be positive.
+	// Registering an existing flow updates its weight.
+	AddFlow(flow int, weight float64) error
+
+	// RemoveFlow unregisters an idle flow. Removing a backlogged flow is
+	// an error.
+	RemoveFlow(flow int) error
+
+	// Enqueue adds p to the scheduler at time now. The packet's flow must
+	// be registered. now must be >= any previous time passed to the
+	// scheduler.
+	Enqueue(now float64, p *Packet) error
+
+	// Dequeue selects the packet to transmit next at time now. ok is
+	// false when no packet is queued, which also marks the end of the
+	// current busy period.
+	Dequeue(now float64) (p *Packet, ok bool)
+
+	// Len returns the number of queued packets.
+	Len() int
+
+	// QueuedBytes returns the total bytes queued for the given flow.
+	QueuedBytes(flow int) float64
+}
+
+// Common errors.
+var (
+	ErrUnknownFlow  = errors.New("sched: unknown flow")
+	ErrFlowBusy     = errors.New("sched: flow has queued packets")
+	ErrBadWeight    = errors.New("sched: weight must be positive")
+	ErrBadPacket    = errors.New("sched: packet length must be positive")
+	ErrTimeWentBack = errors.New("sched: time went backwards")
+)
+
+// FlowTable is the flow registry shared by the schedulers in this
+// repository (including internal/core). It tracks registered weights and
+// per-flow queued bytes/packet counts.
+type FlowTable struct {
+	Weights map[int]float64
+	bytes   map[int]float64
+	count   map[int]int
+}
+
+// NewFlowTable returns an empty registry.
+func NewFlowTable() FlowTable {
+	return FlowTable{
+		Weights: make(map[int]float64),
+		bytes:   make(map[int]float64),
+		count:   make(map[int]int),
+	}
+}
+
+// Add registers (or re-weights) a flow.
+func (t *FlowTable) Add(flow int, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("%w: flow %d weight %v", ErrBadWeight, flow, weight)
+	}
+	t.Weights[flow] = weight
+	return nil
+}
+
+// Remove unregisters an idle flow.
+func (t *FlowTable) Remove(flow int) error {
+	if _, ok := t.Weights[flow]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if t.count[flow] > 0 {
+		return fmt.Errorf("%w: %d", ErrFlowBusy, flow)
+	}
+	delete(t.Weights, flow)
+	delete(t.bytes, flow)
+	delete(t.count, flow)
+	return nil
+}
+
+// CheckPacket validates p against the registry and returns the flow weight.
+func (t *FlowTable) CheckPacket(p *Packet) (weight float64, err error) {
+	w, ok := t.Weights[p.Flow]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownFlow, p.Flow)
+	}
+	if p.Length <= 0 {
+		return 0, fmt.Errorf("%w: flow %d length %v", ErrBadPacket, p.Flow, p.Length)
+	}
+	return w, nil
+}
+
+// OnEnqueue records p as queued.
+func (t *FlowTable) OnEnqueue(p *Packet) {
+	t.bytes[p.Flow] += p.Length
+	t.count[p.Flow]++
+}
+
+// OnDequeue records p as no longer queued.
+func (t *FlowTable) OnDequeue(p *Packet) {
+	t.bytes[p.Flow] -= p.Length
+	t.count[p.Flow]--
+	if t.count[p.Flow] == 0 {
+		// An empty queue holds exactly zero bytes; without the reset,
+		// float accumulation error leaves a residue that makes
+		// emptiness checks unreliable.
+		t.bytes[p.Flow] = 0
+	}
+}
+
+// QueuedBytes returns the bytes queued for flow.
+func (t *FlowTable) QueuedBytes(flow int) float64 { return t.bytes[flow] }
+
+// QueuedCount returns the packets queued for flow.
+func (t *FlowTable) QueuedCount(flow int) int { return t.count[flow] }
+
+// EffRate returns the rate to use for p: its per-packet rate if set,
+// otherwise the flow weight. This implements the generalized per-packet
+// rate allocation of eq (36).
+func EffRate(p *Packet, weight float64) float64 {
+	if p.Rate > 0 {
+		return p.Rate
+	}
+	return weight
+}

@@ -1,0 +1,249 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/fairness"
+	"repro/internal/qos"
+	"repro/internal/sched"
+	"repro/internal/schedtest"
+	"repro/internal/server"
+)
+
+// TestVirtualClockStamps checks the EAT + l/r stamp rule.
+func TestVirtualClockStamps(t *testing.T) {
+	s := sched.NewVirtualClock()
+	addFlows(t, s, map[int]float64{1: 10})
+
+	p1 := &sched.Packet{Flow: 1, Length: 20}
+	if err := s.Enqueue(0, p1); err != nil {
+		t.Fatal(err)
+	}
+	if p1.VirtualFinish != 2 {
+		t.Errorf("stamp = %v, want 2", p1.VirtualFinish)
+	}
+	// Back-to-back packet: EAT = prev stamp = 2, stamp = 4.
+	p2 := &sched.Packet{Flow: 1, Length: 20}
+	if err := s.Enqueue(0.5, p2); err != nil {
+		t.Fatal(err)
+	}
+	if p2.VirtualStart != 2 || p2.VirtualFinish != 4 {
+		t.Errorf("p2 = (%v,%v), want (2,4)", p2.VirtualStart, p2.VirtualFinish)
+	}
+	// After an idle gap, EAT resets to real time.
+	p3 := &sched.Packet{Flow: 1, Length: 20}
+	if err := s.Enqueue(10, p3); err != nil {
+		t.Fatal(err)
+	}
+	if p3.VirtualStart != 10 || p3.VirtualFinish != 12 {
+		t.Errorf("p3 = (%v,%v), want (10,12)", p3.VirtualStart, p3.VirtualFinish)
+	}
+}
+
+// TestVirtualClockPunishesIdleBandwidthUse reproduces the §1.1 critique:
+// a flow that used idle capacity is starved when a competitor arrives.
+// SFQ-family schedulers do not do this; Virtual Clock does.
+func TestVirtualClockPunishesIdleBandwidthUse(t *testing.T) {
+	const c = 100.0 // bytes/s
+	s := sched.NewVirtualClock()
+	addFlows(t, s, map[int]float64{1: 50, 2: 50})
+
+	var arr []schedtest.Arrival
+	// Flow 1 uses the whole link (100 B/s, twice its reservation) for
+	// 10 s while flow 2 is silent: its stamps run 10 s ahead of real time.
+	for i := 0; i < 100; i++ {
+		arr = append(arr, schedtest.Arrival{At: float64(i) * 0.1, Flow: 1, Bytes: 10})
+	}
+	// Both flows then send heavily during [10, 14].
+	for i := 0; i < 40; i++ {
+		arr = append(arr, schedtest.Arrival{At: 10 + float64(i)*0.1, Flow: 1, Bytes: 10})
+		arr = append(arr, schedtest.Arrival{At: 10 + float64(i)*0.1, Flow: 2, Bytes: 10})
+	}
+	res := schedtest.Drive(s, server.NewConstantRate(c), arr)
+	w1 := fairness.NormalizedThroughput(res.Mon.Records, 1, 1, 10, 14)
+	w2 := fairness.NormalizedThroughput(res.Mon.Records, 2, 1, 10, 14)
+	if w2 < 3*w1 {
+		t.Errorf("VC should starve the prior idle-bandwidth user: W1=%v W2=%v", w1, w2)
+	}
+}
+
+// TestVirtualClockDelayGuarantee: VC departures respect EAT + l/r + lmax/C
+// when Σ r <= C [6].
+func TestVirtualClockDelayGuarantee(t *testing.T) {
+	const c = 1000.0
+	s := sched.NewVirtualClock()
+	weights := map[int]float64{1: 300, 2: 700}
+	addFlows(t, s, weights)
+	var arr []schedtest.Arrival
+	for i := 0; i < 60; i++ {
+		arr = append(arr, schedtest.Arrival{At: float64(i) * 0.2, Flow: 1, Bytes: 90})
+		arr = append(arr, schedtest.Arrival{At: float64(i) * 0.13, Flow: 2, Bytes: 110})
+	}
+	res := schedtest.Drive(s, server.NewConstantRate(c), arr)
+	chains := map[int]*qos.EAT{1: {}, 2: {}}
+	eats := map[int][]float64{}
+	for i := 0; i < 60; i++ {
+		eats[1] = append(eats[1], chains[1].Next(float64(i)*0.2, 90, 300))
+		eats[2] = append(eats[2], chains[2].Next(float64(i)*0.13, 110, 700))
+	}
+	idx := map[int]int{}
+	for _, rec := range res.Mon.Records {
+		k := idx[rec.Flow]
+		idx[rec.Flow]++
+		bound := eats[rec.Flow][k] + rec.Bytes/weights[rec.Flow] + 110/c
+		if rec.End > bound+1e-9 {
+			t.Errorf("flow %d pkt %d departs %v after VC bound %v", rec.Flow, k, rec.End, bound)
+		}
+	}
+}
+
+// TestEDDDeadlinesAndOrder checks eq (66) deadline assignment and EDF
+// ordering.
+func TestEDDDeadlinesAndOrder(t *testing.T) {
+	s := sched.NewEDD()
+	if err := s.AddFlowDeadline(1, 100, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddFlowDeadline(2, 100, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	p1 := &sched.Packet{Flow: 1, Length: 50}
+	p2 := &sched.Packet{Flow: 2, Length: 50}
+	if err := s.Enqueue(0, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(0, p2); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Deadline != 0.5 || p2.Deadline != 0.1 {
+		t.Errorf("deadlines (%v,%v), want (0.5,0.1)", p1.Deadline, p2.Deadline)
+	}
+	if got, _ := s.Dequeue(0); got != p2 {
+		t.Error("EDD should serve the earlier deadline first")
+	}
+}
+
+// TestEDDSchedulabilityTest exercises condition (67).
+func TestEDDSchedulabilityTest(t *testing.T) {
+	// Two flows each needing half the link with deadlines ≥ l/C are fine.
+	ok := []qos.EDDFlowSpec{
+		{Rate: 500, Length: 100, Deadline: 0.5},
+		{Rate: 400, Length: 100, Deadline: 0.6},
+	}
+	if err := qos.EDDSchedulable(ok, 1000, 10); err != nil {
+		t.Errorf("feasible set rejected: %v", err)
+	}
+	// Demanding more than the link can do with tight deadlines fails.
+	bad := []qos.EDDFlowSpec{
+		{Rate: 900, Length: 100, Deadline: 0.01},
+		{Rate: 900, Length: 100, Deadline: 0.01},
+	}
+	if err := qos.EDDSchedulable(bad, 1000, 10); err == nil {
+		t.Error("infeasible set accepted")
+	}
+}
+
+// TestEDDTheorem7Bound: on an FC server, every packet completes within
+// D + lmax/C + δ/C when (67) holds.
+func TestEDDTheorem7Bound(t *testing.T) {
+	proc := server.NewPeriodicOnOff(1000, 0.02) // FC(1000, 20)
+	fc := proc.FC()
+	specs := []qos.EDDFlowSpec{
+		{Rate: 400, Length: 100, Deadline: 0.4},
+		{Rate: 500, Length: 100, Deadline: 0.3},
+	}
+	if err := qos.EDDSchedulable(specs, fc.C, 20); err != nil {
+		t.Fatalf("schedulability: %v", err)
+	}
+	s := sched.NewEDD()
+	if err := s.AddFlowDeadline(1, 400, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddFlowDeadline(2, 500, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	var arr []schedtest.Arrival
+	for i := 0; i < 80; i++ {
+		arr = append(arr, schedtest.Arrival{At: float64(i) * 0.25, Flow: 1, Bytes: 100})
+		arr = append(arr, schedtest.Arrival{At: float64(i) * 0.2, Flow: 2, Bytes: 100})
+	}
+	res := schedtest.Drive(s, proc, arr)
+	chains := map[int]*qos.EAT{1: {}, 2: {}}
+	deadlines := map[int][]float64{}
+	for i := 0; i < 80; i++ {
+		deadlines[1] = append(deadlines[1], chains[1].Next(float64(i)*0.25, 100, 400)+0.4)
+		deadlines[2] = append(deadlines[2], chains[2].Next(float64(i)*0.2, 100, 500)+0.3)
+	}
+	idx := map[int]int{}
+	for _, rec := range res.Mon.Records {
+		k := idx[rec.Flow]
+		idx[rec.Flow]++
+		bound := qos.EDDDelayBound(fc, deadlines[rec.Flow][k], 100)
+		if rec.End > bound+1e-9 {
+			t.Errorf("flow %d pkt %d completes %v after Theorem 7 bound %v", rec.Flow, k, rec.End, bound)
+		}
+	}
+}
+
+// TestFIFOOrder checks arrival-order service and bookkeeping.
+func TestFIFOOrder(t *testing.T) {
+	s := sched.NewFIFO()
+	addFlows(t, s, map[int]float64{1: 1, 2: 1})
+	p1 := &sched.Packet{Flow: 1, Length: 5}
+	p2 := &sched.Packet{Flow: 2, Length: 7}
+	if err := s.Enqueue(0, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(0, p2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.QueuedBytes(2) != 7 {
+		t.Errorf("Len=%d QueuedBytes(2)=%v", s.Len(), s.QueuedBytes(2))
+	}
+	if got, _ := s.Dequeue(0); got != p1 {
+		t.Error("FIFO violated")
+	}
+	if got, _ := s.Dequeue(0); got != p2 {
+		t.Error("FIFO violated")
+	}
+	if _, ok := s.Dequeue(0); ok {
+		t.Error("empty FIFO dequeued")
+	}
+}
+
+// TestPriorityStrictOrder: higher level always preempts (non-preemptively)
+// the lower level's queue.
+func TestPriorityStrictOrder(t *testing.T) {
+	hi := sched.NewFIFO()
+	lo := sched.NewFIFO()
+	s := sched.NewPriority(hi, lo)
+	if err := s.AddFlowAt(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddFlowAt(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	pLo := &sched.Packet{Flow: 2, Length: 10}
+	pHi := &sched.Packet{Flow: 1, Length: 10}
+	if err := s.Enqueue(0, pLo); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(0, pHi); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Dequeue(0); got != pHi {
+		t.Error("priority violated")
+	}
+	if got, _ := s.Dequeue(0); got != pLo {
+		t.Error("low level starved incorrectly")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+	if err := s.AddFlowAt(5, 3, 1); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	if err := s.AddFlowAt(0, 1, 1); err == nil {
+		t.Error("duplicate flow accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"container/heap"
+	"math"
+)
+
+// gps simulates the fluid bit-by-bit weighted round robin reference system
+// that defines WFQ's virtual time v(t) (eq 3): dv/dt = C / Σ_{j∈B(t)} r_j,
+// where B(t) is the set of flows backlogged *in the fluid system* and C is
+// the assumed server capacity. The simulation is event-driven: v advances
+// piecewise-linearly between fluid departures, and a flow leaves B(t) when
+// v passes the finish tag of its last fluid packet.
+//
+// This is the deliberately expensive-but-faithful construction; it is also
+// what makes WFQ unfair on variable-rate links (Example 2): the fluid
+// system runs at the assumed C while the real link may not.
+type gps struct {
+	c     float64 // assumed capacity, bytes/s
+	v     float64
+	lastT float64
+	sumW  float64
+
+	count   map[int]int // fluid packets outstanding per flow
+	weights map[int]float64
+	h       gpsHeap
+	seq     uint64
+}
+
+type gpsEntry struct {
+	finish float64
+	seq    uint64
+	flow   int
+}
+
+type gpsHeap []gpsEntry
+
+func (h gpsHeap) Len() int { return len(h) }
+func (h gpsHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h gpsHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *gpsHeap) Push(x any)   { *h = append(*h, x.(gpsEntry)) }
+func (h *gpsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func newGPS(c float64, weights map[int]float64) *gps {
+	return &gps{c: c, count: make(map[int]int), weights: weights}
+}
+
+// advance moves the fluid system forward to real time `now`, processing
+// fluid departures along the way.
+func (g *gps) advance(now float64) {
+	for {
+		if g.h.Len() == 0 {
+			g.lastT = now
+			return
+		}
+		fmin := g.h[0].finish
+		// Real time needed to advance v from g.v to fmin.
+		dt := (fmin - g.v) * g.sumW / g.c
+		if dt < 0 {
+			dt = 0
+		}
+		if g.lastT+dt <= now {
+			g.lastT += dt
+			g.v = fmin
+			e := heap.Pop(&g.h).(gpsEntry)
+			g.count[e.flow]--
+			if g.count[e.flow] == 0 {
+				g.sumW -= g.weights[e.flow]
+				if g.sumW < 1e-12 {
+					g.sumW = 0
+				}
+			}
+		} else {
+			g.v += (now - g.lastT) * g.c / g.sumW
+			g.lastT = now
+			return
+		}
+	}
+}
+
+// arrive registers a fluid packet with the given finish tag.
+func (g *gps) arrive(flow int, finish float64) {
+	if g.count[flow] == 0 {
+		g.sumW += g.weights[flow]
+	}
+	g.count[flow]++
+	g.seq++
+	heap.Push(&g.h, gpsEntry{finish: finish, seq: g.seq, flow: flow})
+}
+
+// WFQ is Weighted Fair Queuing (PGPS): packets are stamped with start and
+// finish tags (eqs 1–2) against the fluid GPS virtual time and transmitted
+// in increasing order of *finish* tags. FQS shares the machinery but
+// transmits in increasing order of *start* tags.
+//
+// assumedCap is the capacity (bytes/s) the fluid reference system is run
+// at; the paper's Example 2 shows what happens when it diverges from the
+// real service rate.
+type WFQ struct {
+	flows      FlowTable
+	g          *gps
+	heap       TagHeap
+	lastFinish map[int]float64
+	last       float64
+	byStart    bool // FQS when true
+}
+
+// NewWFQ returns a WFQ scheduler emulating GPS at assumedCap bytes/s.
+func NewWFQ(assumedCap float64) *WFQ {
+	if assumedCap <= 0 {
+		panic("sched: WFQ assumed capacity must be positive")
+	}
+	t := NewFlowTable()
+	return &WFQ{flows: t, g: newGPS(assumedCap, t.Weights), lastFinish: make(map[int]float64)}
+}
+
+// NewFQS returns a Fair Queuing based on Start-time scheduler [11]: WFQ's
+// virtual time, start-tag transmission order.
+func NewFQS(assumedCap float64) *WFQ {
+	s := NewWFQ(assumedCap)
+	s.byStart = true
+	return s
+}
+
+// AddFlow registers flow with the given weight (bytes/second).
+func (s *WFQ) AddFlow(flow int, weight float64) error { return s.flows.Add(flow, weight) }
+
+// RemoveFlow unregisters an idle flow (idle in both the packet system and
+// the fluid reference system).
+func (s *WFQ) RemoveFlow(flow int) error {
+	if s.g.count[flow] > 0 {
+		return ErrFlowBusy
+	}
+	if err := s.flows.Remove(flow); err != nil {
+		return err
+	}
+	delete(s.lastFinish, flow)
+	delete(s.g.count, flow)
+	return nil
+}
+
+// V returns the current fluid virtual time v(now-of-last-operation).
+func (s *WFQ) V() float64 { return s.g.v }
+
+// Enqueue stamps p per eqs (1)–(2) and queues it in both systems.
+func (s *WFQ) Enqueue(now float64, p *Packet) error {
+	if now < s.last {
+		return ErrTimeWentBack
+	}
+	s.last = now
+	w, err := s.flows.CheckPacket(p)
+	if err != nil {
+		return err
+	}
+	s.g.advance(now)
+	r := EffRate(p, w)
+	start := math.Max(s.g.v, s.lastFinish[p.Flow])
+	finish := start + p.Length/r
+	p.VirtualStart = start
+	p.VirtualFinish = finish
+	s.lastFinish[p.Flow] = finish
+	s.g.arrive(p.Flow, finish)
+	if s.byStart {
+		s.heap.PushTag(start, p)
+	} else {
+		s.heap.PushTag(finish, p)
+	}
+	s.flows.OnEnqueue(p)
+	return nil
+}
+
+// Dequeue returns the next packet in tag order.
+func (s *WFQ) Dequeue(now float64) (*Packet, bool) {
+	if now > s.last {
+		s.last = now
+	}
+	s.g.advance(now)
+	if s.heap.Len() == 0 {
+		return nil, false
+	}
+	p := s.heap.PopMin()
+	s.flows.OnDequeue(p)
+	return p, true
+}
+
+// Len returns the number of queued packets.
+func (s *WFQ) Len() int { return s.heap.Len() }
+
+// QueuedBytes returns the bytes queued for flow.
+func (s *WFQ) QueuedBytes(flow int) float64 { return s.flows.QueuedBytes(flow) }

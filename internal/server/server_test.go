@@ -1,0 +1,215 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantRate(t *testing.T) {
+	s := NewConstantRate(1000)
+	if got := s.Finish(2, 500); got != 2.5 {
+		t.Errorf("Finish = %v, want 2.5", got)
+	}
+	if s.MeanRate() != 1000 || s.FC().Delta != 0 {
+		t.Error("constant rate params")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero rate should panic")
+		}
+	}()
+	NewConstantRate(0)
+}
+
+func TestPiecewise(t *testing.T) {
+	// Example 2's server: 1 B/s in [0,1), 10 B/s after.
+	s := NewPiecewise([]float64{0, 1}, []float64{1, 10})
+	if got := s.Finish(0, 1); got != 1 {
+		t.Errorf("first packet finishes at %v, want 1", got)
+	}
+	if got := s.Finish(1, 10); got != 2 {
+		t.Errorf("10 bytes from t=1 finish at %v, want 2", got)
+	}
+	// Crossing the boundary: 0.5 B done in [0.5,1), 9.5 B at rate 10.
+	if got := s.Finish(0.5, 10); math.Abs(got-1.95) > 1e-12 {
+		t.Errorf("crossing finish = %v, want 1.95", got)
+	}
+	if s.MeanRate() != 10 {
+		t.Errorf("MeanRate = %v", s.MeanRate())
+	}
+}
+
+func TestPiecewiseValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewPiecewise(nil, nil) },
+		func() { NewPiecewise([]float64{1}, []float64{1}) },
+		func() { NewPiecewise([]float64{0, 0}, []float64{1, 2}) },
+		func() { NewPiecewise([]float64{0}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid piecewise accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestPeriodicOnOffWork(t *testing.T) {
+	s := NewPeriodicOnOff(1000, 0.1) // on at 2000 B/s for 0.05s, off 0.05s
+	// 100 bytes at 2000 B/s = 0.05 s: exactly the on phase.
+	if got := s.Finish(0, 100); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("Finish = %v, want 0.05", got)
+	}
+	// Starting in the off phase waits for the next period.
+	if got := s.Finish(0.06, 10); math.Abs(got-0.105) > 1e-12 {
+		t.Errorf("Finish from off phase = %v, want 0.105", got)
+	}
+	if s.FC().Delta != 100 {
+		t.Errorf("delta = %v, want C*period = 100", s.FC().Delta)
+	}
+}
+
+// Property: the periodic on-off server satisfies Definition 1 — work done
+// over any interval of continuous transmission is at least C·dt − δ.
+func TestQuickPeriodicOnOffFCProperty(t *testing.T) {
+	s := NewPeriodicOnOff(1000, 0.1)
+	fc := s.FC()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		t1 := rng.Float64() * 10
+		// Serve back-to-back packets from t1 and check the FC bound at
+		// every completion.
+		now := t1
+		work := 0.0
+		for i := 0; i < 50; i++ {
+			bytes := 1 + rng.Float64()*200
+			now = s.Finish(now, bytes)
+			work += bytes
+			if work < fc.FCBound(now-t1)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomSlottedMeanAndTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewRandomSlotted(1000, 0.01, rng)
+	// Long busy period: mean throughput ≈ C.
+	now := 0.0
+	const total = 100000.0
+	served := 0.0
+	for served < total {
+		now = s.Finish(now, 100)
+		served += 100
+	}
+	rate := served / now
+	if rate < 900 || rate > 1100 {
+		t.Errorf("long-run rate = %v, want ≈ 1000", rate)
+	}
+	// Empirical EBF check: deficit over windows has an exponential tail
+	// no worse than the declared parameters.
+	ebf := s.EBF()
+	if ebf.TailBound(0) != 1 {
+		t.Errorf("TailBound(0) = %v", ebf.TailBound(0))
+	}
+	if ebf.TailBound(100*ebf.Delta) > 1e-8 {
+		t.Errorf("tail should vanish: %v", ebf.TailBound(100*ebf.Delta))
+	}
+	if ebf.C >= s.MeanRate() {
+		t.Error("declared EBF rate must sit below the true mean (drift margin)")
+	}
+}
+
+// Empirical Definition 2 check: P(W < C dt − δ − γ) <= B e^{-αγ} over many
+// sampled windows.
+func TestRandomSlottedEBFEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewRandomSlotted(1000, 0.01, rng)
+	ebf := s.EBF()
+	const dt = 0.5
+	gammas := []float64{0, ebf.Delta, 2 * ebf.Delta}
+	exceed := make([]int, len(gammas))
+	const trials = 400
+	now := 0.0
+	for i := 0; i < trials; i++ {
+		// Work done in [now, now+dt) with continuous transmission.
+		start := now
+		work := 0.0
+		for now < start+dt {
+			next := s.Finish(now, 10)
+			if next > start+dt {
+				// partial credit for the last packet
+				work += 10 * (start + dt - now) / (next - now)
+				now = start + dt
+				break
+			}
+			work += 10
+			now = next
+		}
+		for gi, g := range gammas {
+			if work < ebf.C*dt-ebf.Delta-g {
+				exceed[gi]++
+			}
+		}
+	}
+	for gi, g := range gammas {
+		p := float64(exceed[gi]) / trials
+		if bound := ebf.TailBound(g); p > bound {
+			t.Errorf("γ=%v: empirical tail %v exceeds EBF bound %v", g, p, bound)
+		}
+	}
+}
+
+func TestMarkovModulatedProgress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewMarkovModulated([]float64{100, 1000, 4000}, 0.05, rng)
+	now := 0.0
+	for i := 0; i < 1000; i++ {
+		next := s.Finish(now, 50)
+		if next <= now {
+			t.Fatalf("no progress at %v", now)
+		}
+		now = next
+	}
+	if s.MeanRate() != 1700 {
+		t.Errorf("MeanRate = %v", s.MeanRate())
+	}
+}
+
+func TestProcessValidation(t *testing.T) {
+	for name, bad := range map[string]func(){
+		"onoff":   func() { NewPeriodicOnOff(0, 1) },
+		"slotted": func() { NewRandomSlotted(1, 0, rand.New(rand.NewSource(1))) },
+		"slotnil": func() { NewRandomSlotted(1, 1, nil) },
+		"markov":  func() { NewMarkovModulated(nil, 1, rand.New(rand.NewSource(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: invalid params accepted", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestEBFParamsTailBound(t *testing.T) {
+	p := EBFParams{C: 100, B: 2, Alpha: 0.1, Delta: 10}
+	if got := p.TailBound(0); got != 2 {
+		t.Errorf("TailBound(0) = %v", got)
+	}
+	if got := p.TailBound(10); math.Abs(got-2*math.Exp(-1)) > 1e-12 {
+		t.Errorf("TailBound(10) = %v", got)
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"repro/internal/stats"
+)
+
+// ServiceRecord describes one completed packet transmission at a link: the
+// paper's fairness definition counts a packet as served in [t1,t2] iff its
+// service both starts and finishes inside the interval, so both endpoints
+// are recorded.
+type ServiceRecord struct {
+	Flow       int
+	Start, End float64
+	Bytes      float64
+}
+
+// Interval is a closed time interval.
+type Interval struct{ Start, End float64 }
+
+// Monitor observes one link: per-flow cumulative service curves, exact
+// backlogged intervals (needed by the fairness measure), and queueing /
+// end-to-end delay samples.
+type Monitor struct {
+	link *Link
+
+	Records []ServiceRecord
+
+	// outstanding counts queued + in-service packets per flow; a flow is
+	// backlogged exactly while outstanding > 0.
+	outstanding map[int]int
+	openedAt    map[int]float64
+	intervals   map[int][]Interval
+
+	arrival map[*Frame]float64
+
+	qdelay  map[int]*stats.Sample // time from link arrival to end of transmission
+	e2e     map[int]*stats.Sample // time from frame creation to end of transmission
+	served  map[int]float64       // cumulative bytes served per flow
+	curve   map[int]*stats.TimeSeries
+	horizon float64
+
+	busyTime   float64 // cumulative transmission time
+	totalBytes float64
+	firstStart float64
+	sawService bool
+}
+
+// Attach installs a monitor on l. It takes over the link's OnEnqueue and
+// OnDepart hooks (chaining with any hooks already installed).
+func Attach(l *Link) *Monitor {
+	m := &Monitor{
+		link:        l,
+		outstanding: make(map[int]int),
+		openedAt:    make(map[int]float64),
+		intervals:   make(map[int][]Interval),
+		arrival:     make(map[*Frame]float64),
+		qdelay:      make(map[int]*stats.Sample),
+		e2e:         make(map[int]*stats.Sample),
+		served:      make(map[int]float64),
+		curve:       make(map[int]*stats.TimeSeries),
+	}
+	prevEnq, prevDep := l.OnEnqueue, l.OnDepart
+	l.OnEnqueue = func(f *Frame, now float64) {
+		m.onEnqueue(f, now)
+		if prevEnq != nil {
+			prevEnq(f, now)
+		}
+	}
+	l.OnDepart = func(f *Frame, start, end float64) {
+		m.onDepart(f, start, end)
+		if prevDep != nil {
+			prevDep(f, start, end)
+		}
+	}
+	return m
+}
+
+func (m *Monitor) onEnqueue(f *Frame, now float64) {
+	if m.outstanding[f.Flow] == 0 {
+		m.openedAt[f.Flow] = now
+	}
+	m.outstanding[f.Flow]++
+	m.arrival[f] = now
+}
+
+func (m *Monitor) onDepart(f *Frame, start, end float64) {
+	m.Records = append(m.Records, ServiceRecord{Flow: f.Flow, Start: start, End: end, Bytes: f.Bytes})
+	m.outstanding[f.Flow]--
+	if m.outstanding[f.Flow] == 0 {
+		m.intervals[f.Flow] = append(m.intervals[f.Flow],
+			Interval{Start: m.openedAt[f.Flow], End: end})
+	}
+	if arr, ok := m.arrival[f]; ok {
+		m.sample(m.qdelay, f.Flow).Add(end - arr)
+		delete(m.arrival, f)
+	}
+	m.sample(m.e2e, f.Flow).Add(end - f.Created)
+	m.served[f.Flow] += f.Bytes
+	c, ok := m.curve[f.Flow]
+	if !ok {
+		c = &stats.TimeSeries{}
+		m.curve[f.Flow] = c
+	}
+	c.Add(end, m.served[f.Flow])
+	if end > m.horizon {
+		m.horizon = end
+	}
+	m.busyTime += end - start
+	m.totalBytes += f.Bytes
+	if !m.sawService {
+		m.sawService = true
+		m.firstStart = start
+	}
+}
+
+func (m *Monitor) sample(mm map[int]*stats.Sample, flow int) *stats.Sample {
+	s, ok := mm[flow]
+	if !ok {
+		s = &stats.Sample{}
+		mm[flow] = s
+	}
+	return s
+}
+
+// BackloggedIntervals returns the closed backlog intervals of flow. A still
+// open interval is closed at the current horizon (last observed departure).
+func (m *Monitor) BackloggedIntervals(flow int) []Interval {
+	iv := append([]Interval(nil), m.intervals[flow]...)
+	if m.outstanding[flow] > 0 {
+		iv = append(iv, Interval{Start: m.openedAt[flow], End: m.horizon})
+	}
+	return iv
+}
+
+// QueueDelay returns the queueing+transmission delay samples of flow at
+// this link.
+func (m *Monitor) QueueDelay(flow int) *stats.Sample { return m.sample(m.qdelay, flow) }
+
+// EndToEndDelay returns creation-to-transmission delay samples of flow.
+func (m *Monitor) EndToEndDelay(flow int) *stats.Sample { return m.sample(m.e2e, flow) }
+
+// ServedBytes returns the cumulative bytes of flow served so far.
+func (m *Monitor) ServedBytes(flow int) float64 { return m.served[flow] }
+
+// ServiceCurve returns the cumulative service curve (time → bytes) of flow.
+func (m *Monitor) ServiceCurve(flow int) *stats.TimeSeries {
+	c, ok := m.curve[flow]
+	if !ok {
+		c = &stats.TimeSeries{}
+		m.curve[flow] = c
+	}
+	return c
+}
+
+// Utilization returns the fraction of time the link spent transmitting
+// between the first service start and the last completion (0 if nothing
+// was served).
+func (m *Monitor) Utilization() float64 {
+	if !m.sawService || m.horizon <= m.firstStart {
+		return 0
+	}
+	return m.busyTime / (m.horizon - m.firstStart)
+}
+
+// TotalBytes returns the bytes transmitted across all flows.
+func (m *Monitor) TotalBytes() float64 { return m.totalBytes }
+
+// MeanServiceRate returns total bytes over the observed span (the
+// effective capacity the link delivered while active).
+func (m *Monitor) MeanServiceRate() float64 {
+	if !m.sawService || m.horizon <= m.firstStart {
+		return 0
+	}
+	return m.totalBytes / (m.horizon - m.firstStart)
+}

@@ -1,0 +1,207 @@
+// Package sim is the discrete-event packet network simulator the
+// experiments run on — the stand-in for the REAL simulator used in the
+// paper's Section 2 evaluations and for the Solaris/ATM testbed of
+// Section 4. It models exactly what those evaluations need: traffic
+// sources feeding output-queued links whose service order is decided by a
+// pluggable scheduler and whose service rate is decided by a pluggable
+// capacity process, with propagation delays, finite buffers, and per-flow
+// measurement.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/sched"
+	"repro/internal/server"
+)
+
+// Kind distinguishes frame types on the wire.
+type Kind int
+
+// Frame kinds.
+const (
+	Data Kind = iota
+	Ack
+)
+
+// Frame is a packet in flight through the simulated network.
+type Frame struct {
+	Flow    int
+	Seq     int64
+	Bytes   float64
+	Kind    Kind
+	Created float64 // time the frame left its source
+	Rate    float64 // optional per-packet rate r_f^j (eq 36); 0 = flow weight
+	Meta    any     // transport metadata (e.g. TCP header fields)
+}
+
+// Consumer receives frames. Links, sinks, and transport endpoints all
+// implement it.
+type Consumer interface {
+	Deliver(f *Frame)
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(*Frame)
+
+// Deliver calls fn(f).
+func (fn ConsumerFunc) Deliver(f *Frame) { fn(f) }
+
+// Link is an output-queued transmission link: frames are queued under a
+// scheduling discipline and transmitted at the times dictated by a capacity
+// process, then handed to the downstream consumer after a propagation
+// delay.
+type Link struct {
+	Name string
+
+	q     *eventq.Queue
+	sched sched.Interface
+	proc  server.Process
+	out   Consumer
+
+	// PropDelay is the propagation latency added after transmission.
+	PropDelay float64
+
+	// BufferBytes caps the queued bytes (excluding the frame in
+	// transmission); 0 means unbounded. Arrivals that would exceed it are
+	// dropped.
+	BufferBytes float64
+
+	// FlowBufferBytes, when non-nil, caps the queued bytes of the listed
+	// flows individually (per-flow tail drop); flows without an entry are
+	// limited only by BufferBytes. Per-flow limits model the per-VC
+	// queues of an output-queued switch.
+	FlowBufferBytes map[int]float64
+
+	// DropTail called on every drop (may be nil).
+	OnDrop func(f *Frame)
+
+	// Hooks for measurement (may be nil). OnDepart fires when a frame
+	// finishes transmission (before propagation).
+	OnEnqueue func(f *Frame, now float64)
+	OnDepart  func(f *Frame, startTx, endTx float64)
+
+	busy        bool
+	queuedBytes float64
+	drops       int64
+	delivered   int64
+	seq         map[int]int64
+}
+
+// NewLink wires a link into the event queue q. sch decides order, proc
+// decides timing, out receives transmitted frames.
+func NewLink(q *eventq.Queue, name string, sch sched.Interface, proc server.Process, out Consumer) *Link {
+	if q == nil || sch == nil || proc == nil || out == nil {
+		panic("sim: NewLink requires all of queue, scheduler, process, consumer")
+	}
+	return &Link{Name: name, q: q, sched: sch, proc: proc, out: out, seq: make(map[int]int64)}
+}
+
+// Scheduler returns the link's scheduler (for flow registration).
+func (l *Link) Scheduler() sched.Interface { return l.sched }
+
+// Drops returns the number of dropped frames.
+func (l *Link) Drops() int64 { return l.drops }
+
+// Delivered returns the number of frames fully transmitted.
+func (l *Link) Delivered() int64 { return l.delivered }
+
+// QueuedBytes returns the bytes currently queued (excluding in service).
+func (l *Link) QueuedBytes() float64 { return l.queuedBytes }
+
+// Deliver enqueues f for transmission, dropping it if the shared buffer
+// or its flow's buffer is full.
+func (l *Link) Deliver(f *Frame) {
+	now := l.q.Now()
+	full := l.BufferBytes > 0 && l.queuedBytes+f.Bytes > l.BufferBytes
+	if limit, ok := l.FlowBufferBytes[f.Flow]; ok && !full {
+		full = l.sched.QueuedBytes(f.Flow)+f.Bytes > limit
+	}
+	if full {
+		l.drops++
+		if l.OnDrop != nil {
+			l.OnDrop(f)
+		}
+		return
+	}
+	l.seq[f.Flow]++
+	p := &sched.Packet{
+		Flow:    f.Flow,
+		Seq:     l.seq[f.Flow],
+		Length:  f.Bytes,
+		Arrival: now,
+		Rate:    f.Rate,
+		Payload: f,
+	}
+	if err := l.sched.Enqueue(now, p); err != nil {
+		panic(fmt.Sprintf("sim: link %s enqueue: %v", l.Name, err))
+	}
+	l.queuedBytes += f.Bytes
+	if l.OnEnqueue != nil {
+		l.OnEnqueue(f, now)
+	}
+	if !l.busy {
+		l.startNext()
+	}
+}
+
+// startNext begins transmitting the scheduler's next packet, if any.
+func (l *Link) startNext() {
+	now := l.q.Now()
+	p, ok := l.sched.Dequeue(now)
+	if !ok {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	l.queuedBytes -= p.Length
+	if l.sched.Len() == 0 {
+		l.queuedBytes = 0 // exact zero; float residue breaks emptiness checks
+	}
+	f := p.Payload.(*Frame)
+	end := l.proc.Finish(now, p.Length)
+	l.q.At(end, func() {
+		l.delivered++
+		if l.OnDepart != nil {
+			l.OnDepart(f, now, end)
+		}
+		if l.PropDelay > 0 {
+			l.q.After(l.PropDelay, func() { l.out.Deliver(f) })
+		} else {
+			l.out.Deliver(f)
+		}
+		l.startNext()
+	})
+}
+
+// Sink counts and timestamps received frames per flow.
+type Sink struct {
+	q *eventq.Queue
+
+	// OnReceive, if set, observes every received frame.
+	OnReceive func(f *Frame, now float64)
+
+	count map[int]int64
+	bytes map[int]float64
+}
+
+// NewSink returns a sink attached to q.
+func NewSink(q *eventq.Queue) *Sink {
+	return &Sink{q: q, count: make(map[int]int64), bytes: make(map[int]float64)}
+}
+
+// Deliver records the frame.
+func (s *Sink) Deliver(f *Frame) {
+	s.count[f.Flow]++
+	s.bytes[f.Flow] += f.Bytes
+	if s.OnReceive != nil {
+		s.OnReceive(f, s.q.Now())
+	}
+}
+
+// Count returns frames received for flow.
+func (s *Sink) Count(flow int) int64 { return s.count[flow] }
+
+// Bytes returns bytes received for flow.
+func (s *Sink) Bytes(flow int) float64 { return s.bytes[flow] }

@@ -1,0 +1,267 @@
+// Package source provides the open-loop traffic generators the
+// experiments use: constant bit rate, Poisson, exponential on-off, bulk
+// (greedy) transfers, and a leaky-bucket shaper. The closed-loop TCP Reno
+// source lives in internal/tcp and the VBR video source in internal/vbr.
+//
+// Every source pushes Frames into a sim.Consumer (normally a link) via the
+// shared event queue and takes explicit start/stop times and, where
+// stochastic, an explicit *rand.Rand, keeping runs reproducible.
+package source
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/eventq"
+	"repro/internal/sim"
+)
+
+// CBR emits fixed-size packets at a constant rate.
+type CBR struct {
+	Q        *eventq.Queue
+	Out      sim.Consumer
+	Flow     int
+	Rate     float64 // bytes/s
+	PktBytes float64
+	Start    float64
+	Stop     float64 // no packets are emitted at or after Stop
+
+	seq int64
+}
+
+// Run schedules the source's packet emissions.
+func (s *CBR) Run() {
+	if s.Rate <= 0 || s.PktBytes <= 0 {
+		panic("source: CBR needs positive rate and packet size")
+	}
+	interval := s.PktBytes / s.Rate
+	var emit func(i int64)
+	emit = func(i int64) {
+		now := s.Q.Now()
+		s.seq++
+		s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: s.PktBytes, Created: now})
+		// Emission times are computed from the index, not accumulated,
+		// so floating-point drift cannot add or drop packets.
+		next := s.Start + float64(i+1)*interval
+		if next < s.Stop {
+			s.Q.At(next, func() { emit(i + 1) })
+		}
+	}
+	if s.Start < s.Stop {
+		s.Q.At(s.Start, func() { emit(0) })
+	}
+}
+
+// Poisson emits fixed-size packets with exponential interarrival times so
+// the long-run average rate is Rate bytes/s — the traffic model of the
+// Fig 2(b) experiment.
+type Poisson struct {
+	Q        *eventq.Queue
+	Out      sim.Consumer
+	Flow     int
+	Rate     float64 // average bytes/s
+	PktBytes float64
+	Start    float64
+	Stop     float64
+	Rng      *rand.Rand
+
+	seq int64
+}
+
+// Run schedules the source's packet emissions.
+func (s *Poisson) Run() {
+	if s.Rate <= 0 || s.PktBytes <= 0 {
+		panic("source: Poisson needs positive rate and packet size")
+	}
+	if s.Rng == nil {
+		panic("source: Poisson requires an explicit rng")
+	}
+	mean := s.PktBytes / s.Rate
+	var emit func()
+	var schedule func(from float64)
+	schedule = func(from float64) {
+		next := from + s.Rng.ExpFloat64()*mean
+		if next < s.Stop {
+			s.Q.At(next, emit)
+		}
+	}
+	emit = func() {
+		now := s.Q.Now()
+		s.seq++
+		s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: s.PktBytes, Created: now})
+		schedule(now)
+	}
+	schedule(s.Start)
+}
+
+// OnOff alternates exponential on and off periods; while on it emits CBR
+// traffic at PeakRate. Mean rate = PeakRate · MeanOn/(MeanOn+MeanOff).
+type OnOff struct {
+	Q        *eventq.Queue
+	Out      sim.Consumer
+	Flow     int
+	PeakRate float64 // bytes/s while on
+	PktBytes float64
+	MeanOn   float64 // seconds
+	MeanOff  float64 // seconds
+	Start    float64
+	Stop     float64
+	Rng      *rand.Rand
+
+	seq int64
+}
+
+// Run schedules the source's packet emissions.
+func (s *OnOff) Run() {
+	if s.PeakRate <= 0 || s.PktBytes <= 0 || s.MeanOn <= 0 || s.MeanOff < 0 {
+		panic("source: invalid OnOff parameters")
+	}
+	if s.Rng == nil {
+		panic("source: OnOff requires an explicit rng")
+	}
+	interval := s.PktBytes / s.PeakRate
+	var burst func(endOn float64)
+	var startOn func()
+	startOn = func() {
+		now := s.Q.Now()
+		burst(now + s.Rng.ExpFloat64()*s.MeanOn)
+	}
+	burst = func(endOn float64) {
+		now := s.Q.Now()
+		if now >= s.Stop {
+			return
+		}
+		if now >= endOn {
+			// Off period, then back on.
+			next := now + s.Rng.ExpFloat64()*s.MeanOff
+			if next < s.Stop {
+				s.Q.At(next, startOn)
+			}
+			return
+		}
+		s.seq++
+		s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: s.PktBytes, Created: now})
+		s.Q.At(now+interval, func() { burst(endOn) })
+	}
+	if s.Start < s.Stop {
+		s.Q.At(s.Start, startOn)
+	}
+}
+
+// Bulk models a greedy transfer with a byte budget: it keeps Window bytes
+// outstanding at the bottleneck link (refilled on departure), terminating
+// after Budget bytes — the "connection transmits N packets then
+// terminates" workload of the Fig 3 experiment. Attach must be called
+// before the link transmits (it chains the link's OnDepart hook).
+type Bulk struct {
+	Q        *eventq.Queue
+	Link     *sim.Link
+	Flow     int
+	PktBytes float64
+	Budget   float64 // total bytes to send
+	Window   float64 // bytes kept outstanding (>= PktBytes)
+	Start    float64
+
+	sent     float64
+	inflight float64
+	seq      int64
+	attached bool
+}
+
+// Run installs the departure hook and schedules the initial window.
+func (s *Bulk) Run() {
+	if s.PktBytes <= 0 || s.Budget <= 0 || s.Window < s.PktBytes {
+		panic("source: invalid Bulk parameters")
+	}
+	if !s.attached {
+		s.attached = true
+		prev := s.Link.OnDepart
+		s.Link.OnDepart = func(f *sim.Frame, start, end float64) {
+			if prev != nil {
+				prev(f, start, end)
+			}
+			if f.Flow == s.Flow {
+				s.inflight -= f.Bytes
+				s.fill()
+			}
+		}
+	}
+	s.Q.At(s.Start, s.fill)
+}
+
+func (s *Bulk) fill() {
+	now := s.Q.Now()
+	for s.sent < s.Budget && s.inflight+s.PktBytes <= s.Window {
+		s.seq++
+		s.sent += s.PktBytes
+		s.inflight += s.PktBytes
+		s.Link.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: s.PktBytes, Created: now})
+	}
+}
+
+// Done reports whether the budget has been fully sent.
+func (s *Bulk) Done() bool { return s.sent >= s.Budget }
+
+// LeakyBucket shapes a frame stream to conform to (σ, ρ): a frame passes
+// when the bucket holds enough tokens, otherwise it is delayed. Used to
+// shape high-priority traffic so the residual capacity is fluctuation
+// constrained with parameters (C−ρ, σ) (Section 2.3).
+type LeakyBucket struct {
+	Q     *eventq.Queue
+	Out   sim.Consumer
+	Sigma float64 // bucket depth, bytes
+	Rho   float64 // token rate, bytes/s
+
+	tokens   float64
+	lastFill float64
+	backlog  []*sim.Frame
+	waiting  bool
+}
+
+// NewLeakyBucket returns a shaper that forwards conforming frames to out.
+func NewLeakyBucket(q *eventq.Queue, out sim.Consumer, sigma, rho float64) *LeakyBucket {
+	if sigma <= 0 || rho <= 0 {
+		panic("source: invalid leaky bucket parameters")
+	}
+	return &LeakyBucket{Q: q, Out: out, Sigma: sigma, Rho: rho, tokens: sigma}
+}
+
+// Deliver accepts a frame from upstream.
+func (b *LeakyBucket) Deliver(f *sim.Frame) {
+	b.backlog = append(b.backlog, f)
+	b.drain()
+}
+
+func (b *LeakyBucket) refill() {
+	now := b.Q.Now()
+	b.tokens += (now - b.lastFill) * b.Rho
+	if b.tokens > b.Sigma {
+		b.tokens = b.Sigma
+	}
+	b.lastFill = now
+}
+
+func (b *LeakyBucket) drain() {
+	b.refill()
+	for len(b.backlog) > 0 {
+		f := b.backlog[0]
+		// The relative slack makes the head packet conforming once the
+		// deficit is within rounding error of zero; without it the
+		// tokens += wait·ρ increment can be absorbed by floating-point
+		// rounding and the timer would rearm forever.
+		need := f.Bytes - b.tokens
+		if need > 1e-9*f.Bytes {
+			if !b.waiting {
+				b.waiting = true
+				b.Q.After(need/b.Rho, func() {
+					b.waiting = false
+					b.drain()
+				})
+			}
+			return
+		}
+		b.tokens -= math.Min(f.Bytes, b.tokens)
+		b.backlog = b.backlog[1:]
+		b.Out.Deliver(f)
+	}
+}

@@ -1,0 +1,146 @@
+package source_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// collect gathers frames with their delivery times.
+type collect struct {
+	q     *eventq.Queue
+	times []float64
+	bytes float64
+}
+
+func (c *collect) Deliver(f *sim.Frame) {
+	c.times = append(c.times, c.q.Now())
+	c.bytes += f.Bytes
+}
+
+func TestCBRRateAndSpacing(t *testing.T) {
+	q := &eventq.Queue{}
+	c := &collect{q: q}
+	s := &source.CBR{Q: q, Out: c, Flow: 1, Rate: 1000, PktBytes: 100, Start: 0, Stop: 1}
+	s.Run()
+	q.Run()
+	if len(c.times) != 10 {
+		t.Fatalf("packets = %d, want 10", len(c.times))
+	}
+	for i, tt := range c.times {
+		if math.Abs(tt-float64(i)*0.1) > 1e-9 {
+			t.Errorf("packet %d at %v, want %v", i, tt, float64(i)*0.1)
+		}
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	q := &eventq.Queue{}
+	c := &collect{q: q}
+	s := &source.Poisson{Q: q, Out: c, Flow: 1, Rate: 1000, PktBytes: 100,
+		Start: 0, Stop: 200, Rng: rand.New(rand.NewSource(1))}
+	s.Run()
+	q.Run()
+	rate := c.bytes / 200
+	if rate < 900 || rate > 1100 {
+		t.Errorf("mean rate = %v, want ≈ 1000", rate)
+	}
+}
+
+func TestOnOffMeanRate(t *testing.T) {
+	q := &eventq.Queue{}
+	c := &collect{q: q}
+	s := &source.OnOff{Q: q, Out: c, Flow: 1, PeakRate: 2000, PktBytes: 100,
+		MeanOn: 0.5, MeanOff: 0.5, Start: 0, Stop: 300, Rng: rand.New(rand.NewSource(2))}
+	s.Run()
+	q.Run()
+	rate := c.bytes / 300
+	if rate < 800 || rate > 1200 {
+		t.Errorf("mean rate = %v, want ≈ 1000", rate)
+	}
+}
+
+func TestBulkBudgetAndTermination(t *testing.T) {
+	q := &eventq.Queue{}
+	sink := sim.NewSink(q)
+	sch := sched.NewFIFO()
+	if err := sch.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	link := sim.NewLink(q, "l", sch, server.NewConstantRate(1000), sink)
+	b := &source.Bulk{Q: q, Link: link, Flow: 1, PktBytes: 100, Budget: 5000, Window: 300}
+	b.Run()
+	q.Run()
+	if !b.Done() {
+		t.Error("bulk should finish its budget")
+	}
+	if sink.Bytes(1) != 5000 {
+		t.Errorf("delivered %v bytes, want 5000", sink.Bytes(1))
+	}
+	// Window-limited: the link is kept busy end-to-end.
+	if got := q.Now(); math.Abs(got-5.0) > 1e-9 {
+		t.Errorf("finished at %v, want 5.0", got)
+	}
+}
+
+func TestLeakyBucketConformance(t *testing.T) {
+	q := &eventq.Queue{}
+	c := &collect{q: q}
+	lb := source.NewLeakyBucket(q, c, 200, 100) // σ=200 B, ρ=100 B/s
+	// Burst of 10 × 100 B at t=0: 2 pass immediately, the rest at 1 s
+	// intervals.
+	q.At(0, func() {
+		for i := 0; i < 10; i++ {
+			lb.Deliver(&sim.Frame{Flow: 1, Bytes: 100})
+		}
+	})
+	q.Run()
+	if len(c.times) != 10 {
+		t.Fatalf("frames = %d", len(c.times))
+	}
+	if c.times[0] != 0 || c.times[1] != 0 {
+		t.Errorf("first two should pass at t=0: %v", c.times[:2])
+	}
+	for i := 2; i < 10; i++ {
+		want := float64(i-1) * 1.0
+		if math.Abs(c.times[i]-want) > 1e-9 {
+			t.Errorf("frame %d at %v, want %v", i, c.times[i], want)
+		}
+	}
+	// Conformance property: cumulative output <= σ + ρ·t at every output.
+	cum := 0.0
+	for _, tt := range c.times {
+		cum += 100
+		if cum > 200+100*tt+1e-9 {
+			t.Errorf("output violates (σ,ρ) at t=%v: %v bytes", tt, cum)
+		}
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	q := &eventq.Queue{}
+	c := &collect{q: q}
+	for name, bad := range map[string]func(){
+		"cbr":     func() { (&source.CBR{Q: q, Out: c, Rate: 0, PktBytes: 1, Stop: 1}).Run() },
+		"poisson": func() { (&source.Poisson{Q: q, Out: c, Rate: 1, PktBytes: 1, Stop: 1}).Run() },
+		"onoff": func() {
+			(&source.OnOff{Q: q, Out: c, PeakRate: 1, PktBytes: 1, MeanOn: 0, Stop: 1, Rng: rand.New(rand.NewSource(1))}).Run()
+		},
+		"bucket": func() { source.NewLeakyBucket(q, c, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: invalid config accepted", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import "math"
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0, 1]: higher alpha weights recent samples more.
+type EWMA struct {
+	Alpha float64
+	value float64
+	init  bool
+}
+
+// Add incorporates x and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		panic("stats: EWMA alpha must be in (0, 1]")
+	}
+	if !e.init {
+		e.value = x
+		e.init = true
+	} else {
+		e.value = e.Alpha*x + (1-e.Alpha)*e.value
+	}
+	return e.value
+}
+
+// Value returns the current average (0 before any sample).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lags. It returns NaN at a lag when the series is too short or has zero
+// variance.
+func Autocorrelation(xs []float64, lags []int) []float64 {
+	n := len(xs)
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	var variance float64
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	out := make([]float64, len(lags))
+	for i, lag := range lags {
+		if lag < 0 || lag >= n || variance == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		cov := 0.0
+		for j := 0; j+lag < n; j++ {
+			cov += (xs[j] - mean) * (xs[j+lag] - mean)
+		}
+		out[i] = cov / variance
+	}
+	return out
+}
+
+// CoefficientOfVariation returns std/mean of xs (0 for an empty or
+// zero-mean series).
+func CoefficientOfVariation(xs []float64) float64 {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.Mean() == 0 {
+		return 0
+	}
+	return w.Std() / w.Mean()
+}

@@ -1,0 +1,106 @@
+package tcp_test
+
+import (
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// ackLog records ACK frames with their emission times.
+type ackLog struct {
+	q     *eventq.Queue
+	seqs  []int64
+	times []float64
+}
+
+func (a *ackLog) Deliver(f *sim.Frame) {
+	a.seqs = append(a.seqs, f.Seq)
+	a.times = append(a.times, a.q.Now())
+}
+
+func TestDelayedAckEverySecondSegment(t *testing.T) {
+	q := &eventq.Queue{}
+	log := &ackLog{q: q}
+	r := tcp.NewReceiver(q, log, 1)
+	r.DelayedAck = true
+	for i := int64(1); i <= 4; i++ {
+		i := i
+		q.At(float64(i)*0.01, func() {
+			r.Deliver(&sim.Frame{Flow: 1, Seq: i, Bytes: 100, Kind: sim.Data})
+		})
+	}
+	q.RunUntil(0.05)
+	// Segments 1,2 → one ACK (ack 3); segments 3,4 → one ACK (ack 5).
+	if len(log.seqs) != 2 || log.seqs[0] != 3 || log.seqs[1] != 5 {
+		t.Errorf("acks = %v, want [3 5]", log.seqs)
+	}
+}
+
+func TestDelayedAckTimeoutFires(t *testing.T) {
+	q := &eventq.Queue{}
+	log := &ackLog{q: q}
+	r := tcp.NewReceiver(q, log, 1)
+	r.DelayedAck = true
+	r.DelayedAckTimeout = 0.1
+	q.At(0, func() {
+		r.Deliver(&sim.Frame{Flow: 1, Seq: 1, Bytes: 100, Kind: sim.Data})
+	})
+	q.Run()
+	if len(log.seqs) != 1 || log.seqs[0] != 2 {
+		t.Fatalf("acks = %v, want [2]", log.seqs)
+	}
+	if log.times[0] != 0.1 {
+		t.Errorf("delayed ack at %v, want 0.1", log.times[0])
+	}
+}
+
+func TestDelayedAckOutOfOrderImmediate(t *testing.T) {
+	q := &eventq.Queue{}
+	log := &ackLog{q: q}
+	r := tcp.NewReceiver(q, log, 1)
+	r.DelayedAck = true
+	q.At(0, func() {
+		r.Deliver(&sim.Frame{Flow: 1, Seq: 1, Bytes: 100, Kind: sim.Data}) // delayed
+		r.Deliver(&sim.Frame{Flow: 1, Seq: 3, Bytes: 100, Kind: sim.Data}) // gap: immediate dup-ack
+		r.Deliver(&sim.Frame{Flow: 1, Seq: 4, Bytes: 100, Kind: sim.Data}) // still a gap: immediate
+	})
+	q.RunUntil(0.01)
+	// The out-of-order arrival flushes immediately with the cumulative
+	// ack (2), twice — the dup-ack signal.
+	if len(log.seqs) != 2 || log.seqs[0] != 2 || log.seqs[1] != 2 {
+		t.Errorf("acks = %v, want [2 2]", log.seqs)
+	}
+}
+
+func TestDelayedAckTransferStillCompletes(t *testing.T) {
+	c := newConn(t, 1000, 0, 100)
+	c.rcv.DelayedAck = true
+	c.snd.Run()
+	c.q.Run()
+	if !c.snd.Done() {
+		t.Fatal("transfer with delayed ACKs did not complete")
+	}
+	// Delayed ACKs halve the ACK count but must not break progress.
+	if c.snd.Timeouts() > 2 {
+		t.Errorf("delayed ACKs caused %d timeouts", c.snd.Timeouts())
+	}
+}
+
+func TestDelayedAckSlowsSlowStart(t *testing.T) {
+	// With one ACK per two segments, slow start grows ~half as fast —
+	// compare cwnd after a fixed time on identical paths.
+	grow := func(delayed bool) float64 {
+		c := newConn(t, 100000, 0, 0)
+		c.rcv.DelayedAck = delayed
+		c.snd.Run()
+		c.q.RunUntil(0.2)
+		return c.snd.Cwnd()
+	}
+	fast := grow(false)
+	slow := grow(true)
+	if slow >= fast {
+		t.Errorf("delayed-ack cwnd %v should trail immediate-ack cwnd %v", slow, fast)
+	}
+}

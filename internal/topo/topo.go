@@ -1,0 +1,165 @@
+// Package topo builds multi-node simulation topologies declaratively:
+// named nodes connected by links (each with its own scheduler and
+// capacity process), static per-flow routes, and automatic flow
+// registration along each route. It removes the hand-wiring that
+// multi-hop experiments otherwise need and guarantees that a frame
+// entering a route traverses exactly the declared links, exiting into the
+// flow's sink.
+package topo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// LinkSpec declares one unidirectional link.
+type LinkSpec struct {
+	Name      string
+	From, To  string
+	Sched     sched.Interface
+	Proc      server.Process
+	PropDelay float64
+	Buffer    float64 // shared buffer bytes; 0 = unbounded
+}
+
+// FlowSpec declares one flow: its id, weight (registered on every link of
+// the route), the ordered list of link names it traverses, and the sink
+// consumer that receives it at the end (nil = count-only sink).
+type FlowSpec struct {
+	Flow   int
+	Weight float64
+	Route  []string
+	Sink   sim.Consumer
+}
+
+// Network is a compiled topology.
+type Network struct {
+	Q     *eventq.Queue
+	links map[string]*sim.Link
+	mons  map[string]*sim.Monitor
+	entry map[int]sim.Consumer
+	sinks map[int]*sim.Sink
+	flows map[int]FlowSpec
+}
+
+// Errors returned by Build.
+var (
+	ErrDuplicateLink = errors.New("topo: duplicate link name")
+	ErrUnknownLink   = errors.New("topo: route references unknown link")
+	ErrBadRoute      = errors.New("topo: route links are not contiguous")
+	ErrDuplicateFlow = errors.New("topo: duplicate flow id")
+)
+
+// Build compiles the topology. Routes must be contiguous (each link's To
+// equals the next link's From).
+func Build(q *eventq.Queue, links []LinkSpec, flows []FlowSpec) (*Network, error) {
+	n := &Network{
+		Q:     q,
+		links: make(map[string]*sim.Link),
+		mons:  make(map[string]*sim.Monitor),
+		entry: make(map[int]sim.Consumer),
+		sinks: make(map[int]*sim.Sink),
+		flows: make(map[int]FlowSpec),
+	}
+
+	// Each link's downstream consumer routes per flow: the next link on
+	// that flow's route, or its sink. Build links first with a demux
+	// consumer, then fill the per-flow next tables.
+	type demux struct {
+		next map[int]sim.Consumer
+	}
+	demuxes := make(map[string]*demux, len(links))
+	for _, ls := range links {
+		if _, dup := n.links[ls.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateLink, ls.Name)
+		}
+		d := &demux{next: make(map[int]sim.Consumer)}
+		demuxes[ls.Name] = d
+		out := sim.ConsumerFunc(func(f *sim.Frame) {
+			nx, ok := d.next[f.Flow]
+			if !ok {
+				panic(fmt.Sprintf("topo: frame of flow %d has no next hop", f.Flow))
+			}
+			nx.Deliver(f)
+		})
+		link := sim.NewLink(q, ls.Name, ls.Sched, ls.Proc, out)
+		link.PropDelay = ls.PropDelay
+		link.BufferBytes = ls.Buffer
+		n.links[ls.Name] = link
+		n.mons[ls.Name] = sim.Attach(link)
+	}
+	byName := make(map[string]LinkSpec, len(links))
+	for _, ls := range links {
+		byName[ls.Name] = ls
+	}
+
+	for _, fs := range flows {
+		if _, dup := n.flows[fs.Flow]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateFlow, fs.Flow)
+		}
+		if len(fs.Route) == 0 {
+			return nil, fmt.Errorf("topo: flow %d has an empty route", fs.Flow)
+		}
+		// Validate contiguity and register the flow on every hop.
+		for i, name := range fs.Route {
+			link, ok := n.links[name]
+			if !ok {
+				return nil, fmt.Errorf("%w: flow %d hop %q", ErrUnknownLink, fs.Flow, name)
+			}
+			if i > 0 {
+				prev := byName[fs.Route[i-1]]
+				cur := byName[name]
+				if prev.To != cur.From {
+					return nil, fmt.Errorf("%w: flow %d: %q ends at %q but %q starts at %q",
+						ErrBadRoute, fs.Flow, prev.Name, prev.To, cur.Name, cur.From)
+				}
+			}
+			if err := link.Scheduler().AddFlow(fs.Flow, fs.Weight); err != nil {
+				return nil, fmt.Errorf("topo: flow %d on %q: %w", fs.Flow, name, err)
+			}
+		}
+		// Wire the demux chain.
+		sink := fs.Sink
+		if sink == nil {
+			s := sim.NewSink(q)
+			n.sinks[fs.Flow] = s
+			sink = s
+		}
+		for i := len(fs.Route) - 1; i >= 0; i-- {
+			d := demuxes[fs.Route[i]]
+			if i == len(fs.Route)-1 {
+				d.next[fs.Flow] = sink
+			} else {
+				d.next[fs.Flow] = n.links[fs.Route[i+1]]
+			}
+		}
+		n.entry[fs.Flow] = n.links[fs.Route[0]]
+		n.flows[fs.Flow] = fs
+	}
+	return n, nil
+}
+
+// Entry returns the consumer a source should feed for the given flow (the
+// first link of its route).
+func (n *Network) Entry(flow int) sim.Consumer {
+	e, ok := n.entry[flow]
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown flow %d", flow))
+	}
+	return e
+}
+
+// Link returns the named link.
+func (n *Network) Link(name string) *sim.Link { return n.links[name] }
+
+// Monitor returns the named link's monitor.
+func (n *Network) Monitor(name string) *sim.Monitor { return n.mons[name] }
+
+// Sink returns the auto-created sink of a flow (nil if the flow supplied
+// its own).
+func (n *Network) Sink(flow int) *sim.Sink { return n.sinks[flow] }

@@ -1,0 +1,193 @@
+package topo_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func linkSpec(name, from, to string, rate float64) topo.LinkSpec {
+	return topo.LinkSpec{
+		Name: name, From: from, To: to,
+		Sched: core.New(),
+		Proc:  server.NewConstantRate(rate),
+	}
+}
+
+func TestBuildAndRouteSingleHop(t *testing.T) {
+	q := &eventq.Queue{}
+	n, err := topo.Build(q,
+		[]topo.LinkSpec{linkSpec("ab", "a", "b", 100)},
+		[]topo.FlowSpec{{Flow: 1, Weight: 1, Route: []string{"ab"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.At(0, func() { n.Entry(1).Deliver(&sim.Frame{Flow: 1, Bytes: 100}) })
+	q.Run()
+	if n.Sink(1).Count(1) != 1 {
+		t.Errorf("sink count = %d", n.Sink(1).Count(1))
+	}
+	if got := n.Monitor("ab").ServedBytes(1); got != 100 {
+		t.Errorf("served = %v", got)
+	}
+}
+
+func TestThreeHopChainTiming(t *testing.T) {
+	q := &eventq.Queue{}
+	var links []topo.LinkSpec
+	names := []string{"ab", "bc", "cd"}
+	nodes := []string{"a", "b", "c", "d"}
+	for i, nm := range names {
+		ls := linkSpec(nm, nodes[i], nodes[i+1], 100)
+		ls.PropDelay = 0.1
+		links = append(links, ls)
+	}
+	var arrived float64
+	sink := sim.ConsumerFunc(func(f *sim.Frame) { arrived = q.Now() })
+	n, err := topo.Build(q, links,
+		[]topo.FlowSpec{{Flow: 1, Weight: 1, Route: names, Sink: sink}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.At(0, func() { n.Entry(1).Deliver(&sim.Frame{Flow: 1, Bytes: 100}) })
+	q.Run()
+	// 3 × (1 s transmission + 0.1 s propagation).
+	if math.Abs(arrived-3.3) > 1e-9 {
+		t.Errorf("arrival = %v, want 3.3", arrived)
+	}
+}
+
+func TestRoutesDiverge(t *testing.T) {
+	q := &eventq.Queue{}
+	n, err := topo.Build(q,
+		[]topo.LinkSpec{
+			linkSpec("ab", "a", "b", 1000),
+			linkSpec("bc", "b", "c", 1000),
+			linkSpec("bd", "b", "d", 1000),
+		},
+		[]topo.FlowSpec{
+			{Flow: 1, Weight: 1, Route: []string{"ab", "bc"}},
+			{Flow: 2, Weight: 1, Route: []string{"ab", "bd"}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.At(0, func() {
+		n.Entry(1).Deliver(&sim.Frame{Flow: 1, Bytes: 100})
+		n.Entry(2).Deliver(&sim.Frame{Flow: 2, Bytes: 100})
+	})
+	q.Run()
+	if n.Sink(1).Count(1) != 1 || n.Sink(2).Count(2) != 1 {
+		t.Error("flows did not reach their sinks")
+	}
+	if n.Monitor("bc").ServedBytes(2) != 0 || n.Monitor("bd").ServedBytes(1) != 0 {
+		t.Error("flow leaked onto the wrong branch")
+	}
+	if n.Monitor("ab").ServedBytes(1) != 100 || n.Monitor("ab").ServedBytes(2) != 100 {
+		t.Error("shared hop missing traffic")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	q := &eventq.Queue{}
+	ab := linkSpec("ab", "a", "b", 1)
+	cd := linkSpec("cd", "c", "d", 1)
+
+	_, err := topo.Build(q, []topo.LinkSpec{ab, linkSpec("ab", "x", "y", 1)}, nil)
+	if !errors.Is(err, topo.ErrDuplicateLink) {
+		t.Errorf("duplicate link: %v", err)
+	}
+
+	_, err = topo.Build(q, []topo.LinkSpec{ab},
+		[]topo.FlowSpec{{Flow: 1, Weight: 1, Route: []string{"zz"}}})
+	if !errors.Is(err, topo.ErrUnknownLink) {
+		t.Errorf("unknown link: %v", err)
+	}
+
+	_, err = topo.Build(q, []topo.LinkSpec{ab, cd},
+		[]topo.FlowSpec{{Flow: 1, Weight: 1, Route: []string{"ab", "cd"}}})
+	if !errors.Is(err, topo.ErrBadRoute) {
+		t.Errorf("discontiguous route: %v", err)
+	}
+
+	_, err = topo.Build(q, []topo.LinkSpec{ab},
+		[]topo.FlowSpec{
+			{Flow: 1, Weight: 1, Route: []string{"ab"}},
+			{Flow: 1, Weight: 1, Route: []string{"ab"}},
+		})
+	if !errors.Is(err, topo.ErrDuplicateFlow) {
+		t.Errorf("duplicate flow: %v", err)
+	}
+
+	_, err = topo.Build(q, []topo.LinkSpec{ab},
+		[]topo.FlowSpec{{Flow: 1, Weight: 1, Route: nil}})
+	if err == nil {
+		t.Error("empty route accepted")
+	}
+
+	_, err = topo.Build(q, []topo.LinkSpec{ab},
+		[]topo.FlowSpec{{Flow: 1, Weight: -1, Route: []string{"ab"}}})
+	if err == nil {
+		t.Error("bad weight accepted")
+	}
+}
+
+func TestSharedBottleneckFairness(t *testing.T) {
+	// Two flows share hop "ab" with weights 1:3, then split. The shared
+	// SFQ hop divides its bandwidth by weight.
+	q := &eventq.Queue{}
+	shared := linkSpec("ab", "a", "b", 1000)
+	n, err := topo.Build(q,
+		[]topo.LinkSpec{shared, linkSpec("bc", "b", "c", 10000), linkSpec("bd", "b", "d", 10000)},
+		[]topo.FlowSpec{
+			{Flow: 1, Weight: 1, Route: []string{"ab", "bc"}},
+			{Flow: 2, Weight: 3, Route: []string{"ab", "bd"}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.At(0, func() {
+		for i := 0; i < 100; i++ {
+			n.Entry(1).Deliver(&sim.Frame{Flow: 1, Bytes: 100})
+			n.Entry(2).Deliver(&sim.Frame{Flow: 2, Bytes: 100})
+		}
+	})
+	q.Run()
+	mon := n.Monitor("ab")
+	// Measure while both are backlogged: flow 2 (weight 3) drains first.
+	end := mon.BackloggedIntervals(2)[0].End
+	w1 := mon.ServiceCurve(1).Delta(0, end)
+	w2 := mon.ServiceCurve(2).Delta(0, end)
+	if r := w2 / w1; r < 2.5 || r > 3.5 {
+		t.Errorf("shared-hop ratio = %v, want ≈ 3", r)
+	}
+}
+
+func TestUnroutedFramePanics(t *testing.T) {
+	q := &eventq.Queue{}
+	n, err := topo.Build(q,
+		[]topo.LinkSpec{{
+			Name: "ab", From: "a", To: "b",
+			Sched: func() sched.Interface { f := sched.NewFIFO(); _ = f.AddFlow(9, 1); return f }(),
+			Proc:  server.NewConstantRate(100),
+		}},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("frame with no route should panic at the demux")
+		}
+	}()
+	q.At(0, func() { n.Link("ab").Deliver(&sim.Frame{Flow: 9, Bytes: 10}) })
+	q.Run()
+}

@@ -1,0 +1,83 @@
+package vbr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// GOPStats summarizes a trace by frame type — the sanity check that the
+// synthetic model reproduces the I/P/B size structure of MPEG video.
+type GOPStats struct {
+	Mean  map[FrameType]float64 // bytes per frame, by type
+	Count map[FrameType]int
+}
+
+// AnalyzeGOP computes per-frame-type means assuming the trace was
+// generated with the given GOP pattern (nil = DefaultGOP).
+func (t *Trace) AnalyzeGOP(gop []FrameType) GOPStats {
+	if len(gop) == 0 {
+		gop = DefaultGOP
+	}
+	s := GOPStats{Mean: make(map[FrameType]float64), Count: make(map[FrameType]int)}
+	for i, size := range t.Sizes {
+		ft := gop[i%len(gop)]
+		s.Mean[ft] += size
+		s.Count[ft]++
+	}
+	for ft, n := range s.Count {
+		s.Mean[ft] /= float64(n)
+	}
+	return s
+}
+
+// String renders the stats compactly.
+func (s GOPStats) String() string {
+	var b strings.Builder
+	for _, ft := range []FrameType{I, P, B} {
+		if n := s.Count[ft]; n > 0 {
+			fmt.Fprintf(&b, "%s: %.0f B (n=%d)  ", ft, s.Mean[ft], n)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// PerSecondRates aggregates the trace into one-second byte totals — the
+// series whose slow decay of autocorrelation evidences scene-level
+// (multiple-time-scale) variability.
+func (t *Trace) PerSecondRates() []float64 {
+	if len(t.Sizes) == 0 {
+		return nil
+	}
+	n := int(t.Duration()) + 1
+	out := make([]float64, n)
+	for i, s := range t.Sizes {
+		sec := int(float64(i) / t.FPS)
+		out[sec] += s
+	}
+	if rem := t.Duration() - float64(int(t.Duration())); rem == 0 {
+		out = out[:n-1]
+	}
+	return out
+}
+
+// BurstinessReport quantifies the two time scales: the coefficient of
+// variation of per-frame sizes (frame scale) and of per-second rates
+// (scene scale), plus the lag-1 autocorrelation of the per-second series.
+type BurstinessReport struct {
+	FrameCV   float64
+	SecondCV  float64
+	SecondAC1 float64
+}
+
+// Burstiness computes the report.
+func (t *Trace) Burstiness() BurstinessReport {
+	perSec := t.PerSecondRates()
+	ac := stats.Autocorrelation(perSec, []int{1})
+	return BurstinessReport{
+		FrameCV:   stats.CoefficientOfVariation(t.Sizes),
+		SecondCV:  stats.CoefficientOfVariation(perSec),
+		SecondAC1: ac[0],
+	}
+}

@@ -1,0 +1,66 @@
+package vbr_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/vbr"
+)
+
+func TestAnalyzeGOP(t *testing.T) {
+	tr := genTrace(t, 2400, 11)
+	s := tr.AnalyzeGOP(nil)
+	if s.Count[vbr.I] != 200 || s.Count[vbr.P] != 600 || s.Count[vbr.B] != 1600 {
+		t.Errorf("counts = %v", s.Count)
+	}
+	if !(s.Mean[vbr.I] > s.Mean[vbr.P] && s.Mean[vbr.P] > s.Mean[vbr.B]) {
+		t.Errorf("type means not ordered: I=%v P=%v B=%v",
+			s.Mean[vbr.I], s.Mean[vbr.P], s.Mean[vbr.B])
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestPerSecondRates(t *testing.T) {
+	tr := &vbr.Trace{FPS: 2, Sizes: []float64{10, 20, 30, 40}} // 2 s
+	got := tr.PerSecondRates()
+	if len(got) != 2 || got[0] != 30 || got[1] != 70 {
+		t.Errorf("per-second = %v", got)
+	}
+	var empty vbr.Trace
+	if empty.PerSecondRates() != nil {
+		t.Error("empty trace should give nil")
+	}
+}
+
+func TestBurstinessTwoTimeScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	full := vbr.Generate(vbr.Config{MeanRate: units.Mbps(1.21)}, 4800, rng)
+	rep := full.Burstiness()
+	if rep.FrameCV < 0.3 {
+		t.Errorf("frame CV = %v, expected strong GOP variability", rep.FrameCV)
+	}
+	if rep.SecondCV < 0.1 {
+		t.Errorf("second CV = %v, expected scene variability", rep.SecondCV)
+	}
+	if math.IsNaN(rep.SecondAC1) || rep.SecondAC1 < 0.2 {
+		t.Errorf("second-scale AC(1) = %v, scenes should persist across seconds", rep.SecondAC1)
+	}
+
+	// Ablation: disabling scene modulation kills the second-scale
+	// correlation but keeps frame-scale variability.
+	flat := vbr.Generate(vbr.Config{
+		MeanRate:    units.Mbps(1.21),
+		SceneLevels: []float64{1.0},
+	}, 4800, rand.New(rand.NewSource(13)))
+	frep := flat.Burstiness()
+	if frep.FrameCV < 0.3 {
+		t.Errorf("flat-scene frame CV = %v", frep.FrameCV)
+	}
+	if frep.SecondCV > rep.SecondCV/2 {
+		t.Errorf("flat-scene second CV %v should collapse vs %v", frep.SecondCV, rep.SecondCV)
+	}
+}

@@ -1,0 +1,333 @@
+// Package vbr provides the synthetic variable-bit-rate MPEG video model
+// that stands in for the paper's proprietary "Frasier" trace (an MPEG
+// compressed TV recording with average rate 1.21 Mb/s sent in 50-byte
+// packets). The model reproduces the two properties the experiments rely
+// on, per the multiple-time-scale characterization of Grossglauser,
+// Keshav & Tse [12]:
+//
+//   - frame-time-scale variability: a GOP pattern (I BB P BB P BB P BB)
+//     with lognormal frame sizes whose means differ by frame type, and
+//   - scene-time-scale variability: a Markov scene process that modulates
+//     the mean frame size over periods of seconds.
+//
+// Traces are deterministic given a seed and are normalized so the mean
+// rate matches the requested target exactly.
+package vbr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/eventq"
+	"repro/internal/sim"
+)
+
+// FrameType classifies MPEG frames.
+type FrameType byte
+
+// MPEG frame types.
+const (
+	I FrameType = iota
+	P
+	B
+)
+
+// String returns "I", "P" or "B".
+func (t FrameType) String() string {
+	switch t {
+	case I:
+		return "I"
+	case P:
+		return "P"
+	case B:
+		return "B"
+	}
+	return "?"
+}
+
+// DefaultGOP is the 12-frame group-of-pictures pattern used by the model.
+var DefaultGOP = []FrameType{I, B, B, P, B, B, P, B, B, P, B, B}
+
+// Config parameterizes the synthetic model.
+type Config struct {
+	FPS      float64     // frames per second (default 24)
+	GOP      []FrameType // group of pictures (default DefaultGOP)
+	MeanRate float64     // target average rate in bytes/s (required)
+
+	// Relative mean sizes by frame type (defaults 5 : 2 : 1).
+	IScale, PScale, BScale float64
+
+	// Sigma is the lognormal shape parameter for frame-size noise
+	// (default 0.3).
+	Sigma float64
+
+	// Scene process: multiplicative rate states and the mean scene
+	// duration (defaults {0.5, 1.0, 1.8} and 2 s).
+	SceneLevels []float64
+	MeanScene   float64
+}
+
+// FPSOrDefault returns the configured frame rate, or the default (24).
+func (c Config) FPSOrDefault() float64 {
+	if c.FPS == 0 {
+		return 24
+	}
+	return c.FPS
+}
+
+func (c Config) withDefaults() Config {
+	if c.FPS == 0 {
+		c.FPS = 24
+	}
+	if len(c.GOP) == 0 {
+		c.GOP = DefaultGOP
+	}
+	if c.IScale == 0 {
+		c.IScale = 5
+	}
+	if c.PScale == 0 {
+		c.PScale = 2
+	}
+	if c.BScale == 0 {
+		c.BScale = 1
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.3
+	}
+	if len(c.SceneLevels) == 0 {
+		c.SceneLevels = []float64{0.5, 1.0, 1.8}
+	}
+	if c.MeanScene == 0 {
+		c.MeanScene = 2
+	}
+	return c
+}
+
+// Trace is a sequence of video frame sizes at a fixed frame rate.
+type Trace struct {
+	FPS   float64
+	Sizes []float64 // bytes per frame
+}
+
+// Duration returns the trace play time in seconds.
+func (t *Trace) Duration() float64 { return float64(len(t.Sizes)) / t.FPS }
+
+// MeanRate returns the average rate in bytes/s.
+func (t *Trace) MeanRate() float64 {
+	if len(t.Sizes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range t.Sizes {
+		sum += s
+	}
+	return sum / t.Duration()
+}
+
+// PeakFrame returns the largest frame in bytes.
+func (t *Trace) PeakFrame() float64 {
+	m := 0.0
+	for _, s := range t.Sizes {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Generate produces a trace of n frames from the model, normalized so its
+// mean rate equals cfg.MeanRate exactly.
+func Generate(cfg Config, n int, rng *rand.Rand) *Trace {
+	if rng == nil {
+		panic("vbr: Generate requires an explicit rng")
+	}
+	if n <= 0 {
+		panic("vbr: trace length must be positive")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MeanRate <= 0 {
+		panic("vbr: MeanRate must be positive")
+	}
+
+	sizes := make([]float64, n)
+	scene := cfg.SceneLevels[rng.Intn(len(cfg.SceneLevels))]
+	sceneFramesLeft := sceneLength(cfg, rng)
+	for i := 0; i < n; i++ {
+		if sceneFramesLeft <= 0 {
+			scene = cfg.SceneLevels[rng.Intn(len(cfg.SceneLevels))]
+			sceneFramesLeft = sceneLength(cfg, rng)
+		}
+		sceneFramesLeft--
+
+		var base float64
+		switch cfg.GOP[i%len(cfg.GOP)] {
+		case I:
+			base = cfg.IScale
+		case P:
+			base = cfg.PScale
+		default:
+			base = cfg.BScale
+		}
+		noise := math.Exp(rng.NormFloat64()*cfg.Sigma - cfg.Sigma*cfg.Sigma/2)
+		sizes[i] = base * scene * noise
+	}
+
+	// Normalize to the target mean rate.
+	tr := &Trace{FPS: cfg.FPS, Sizes: sizes}
+	scale := cfg.MeanRate / tr.MeanRate()
+	for i := range sizes {
+		sizes[i] *= scale
+	}
+	return tr
+}
+
+func sceneLength(cfg Config, rng *rand.Rand) int {
+	frames := int(rng.ExpFloat64() * cfg.MeanScene * cfg.FPS)
+	if frames < 1 {
+		frames = 1
+	}
+	return frames
+}
+
+// Source plays a trace into a consumer, packetizing each frame into
+// PktBytes cells emitted back-to-back at the frame instant (the last cell
+// carries the remainder). The trace loops if the stop time exceeds its
+// duration.
+type Source struct {
+	Q        *eventq.Queue
+	Out      sim.Consumer
+	Flow     int
+	Trace    *Trace
+	PktBytes float64
+	Start    float64
+	Stop     float64
+
+	// Pace spreads a frame's cells evenly across the frame interval
+	// instead of emitting them as a burst at the frame instant.
+	Pace bool
+
+	seq int64
+}
+
+// Run schedules frame emissions.
+func (s *Source) Run() {
+	if s.PktBytes <= 0 || s.Trace == nil || len(s.Trace.Sizes) == 0 {
+		panic("vbr: invalid source")
+	}
+	interval := 1 / s.Trace.FPS
+	var emit func(idx int)
+	emit = func(idx int) {
+		now := s.Q.Now()
+		total := s.Trace.Sizes[idx%len(s.Trace.Sizes)]
+		ncells := int(math.Ceil(total / s.PktBytes))
+		remaining := total
+		for i := 0; i < ncells; i++ {
+			sz := s.PktBytes
+			if remaining < sz {
+				sz = remaining
+			}
+			remaining -= sz
+			deliver := func(b float64) func() {
+				return func() {
+					s.seq++
+					s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: b, Created: s.Q.Now()})
+				}
+			}(sz)
+			if s.Pace && ncells > 1 {
+				s.Q.At(now+float64(i)*interval/float64(ncells), deliver)
+			} else {
+				deliver()
+			}
+		}
+		// Frame instants are computed from the index so floating-point
+		// drift cannot add or drop frames.
+		next := s.Start + float64(idx+1)*interval
+		if next < s.Stop {
+			s.Q.At(next, func() { emit(idx + 1) })
+		}
+	}
+	if s.Start < s.Stop {
+		s.Q.At(s.Start, func() { emit(0) })
+	}
+}
+
+// Trace file format: "VBRT" magic, a version byte, FPS as float64 bits,
+// a uint32 frame count, then each size as a uint32 number of bytes.
+var traceMagic = [4]byte{'V', 'B', 'R', 'T'}
+
+const traceVersion = 1
+
+// ErrBadTrace is returned for malformed trace files.
+var ErrBadTrace = errors.New("vbr: malformed trace file")
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(t.FPS))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(t.Sizes)))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	for _, s := range t.Sizes {
+		binary.BigEndian.PutUint32(buf[:4], uint32(math.Round(s)))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by Write.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil || ver != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version", ErrBadTrace)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	fps := math.Float64frombits(binary.BigEndian.Uint64(buf[:]))
+	if fps <= 0 || math.IsNaN(fps) || math.IsInf(fps, 0) {
+		return nil, fmt.Errorf("%w: fps %v", ErrBadTrace, fps)
+	}
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	n := binary.BigEndian.Uint32(buf[:4])
+	const maxFrames = 1 << 26
+	if n == 0 || n > maxFrames {
+		return nil, fmt.Errorf("%w: frame count %d", ErrBadTrace, n)
+	}
+	sizes := make([]float64, n)
+	for i := range sizes {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at frame %d: %v", ErrBadTrace, i, err)
+		}
+		sizes[i] = float64(binary.BigEndian.Uint32(buf[:4]))
+	}
+	return &Trace{FPS: fps, Sizes: sizes}, nil
+}

@@ -1,0 +1,186 @@
+package vbr_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/vbr"
+)
+
+func genTrace(t *testing.T, n int, seed int64) *vbr.Trace {
+	t.Helper()
+	return vbr.Generate(vbr.Config{MeanRate: units.Mbps(1.21)}, n, rand.New(rand.NewSource(seed)))
+}
+
+func TestGenerateMeanRateExact(t *testing.T) {
+	tr := genTrace(t, 2400, 1)
+	if got, want := tr.MeanRate(), units.Mbps(1.21); math.Abs(got-want) > 1e-6 {
+		t.Errorf("mean rate = %v, want %v", got, want)
+	}
+	if tr.Duration() != 100 {
+		t.Errorf("duration = %v, want 100 s at 24 fps", tr.Duration())
+	}
+}
+
+func TestGenerateFrameTypeStructure(t *testing.T) {
+	// I frames should be systematically larger than B frames: compare the
+	// mean of GOP position 0 (I) against positions 1-2 (B).
+	tr := genTrace(t, 2400, 2)
+	var iSum, bSum float64
+	var iN, bN int
+	for idx, s := range tr.Sizes {
+		switch idx % 12 {
+		case 0:
+			iSum += s
+			iN++
+		case 1, 2:
+			bSum += s
+			bN++
+		}
+	}
+	iMean := iSum / float64(iN)
+	bMean := bSum / float64(bN)
+	if iMean < 2*bMean {
+		t.Errorf("I mean %v should dwarf B mean %v", iMean, bMean)
+	}
+}
+
+func TestGenerateMultipleTimeScaleVariability(t *testing.T) {
+	// Scene modulation should make second-scale (GOP-aggregated) rates
+	// vary: the coefficient of variation across one-second windows must
+	// be substantial.
+	tr := genTrace(t, 4800, 3)
+	perSec := make([]float64, 200)
+	for i, s := range tr.Sizes {
+		perSec[i/24] += s
+	}
+	mean, m2 := 0.0, 0.0
+	for _, v := range perSec {
+		mean += v
+	}
+	mean /= float64(len(perSec))
+	for _, v := range perSec {
+		m2 += (v - mean) * (v - mean)
+	}
+	cv := math.Sqrt(m2/float64(len(perSec))) / mean
+	if cv < 0.1 {
+		t.Errorf("second-scale CV = %v, want >= 0.1 (scene-level variability)", cv)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genTrace(t, 240, 7)
+	b := genTrace(t, 240, 7)
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Fatal("same seed should give identical traces")
+		}
+	}
+	c := genTrace(t, 240, 8)
+	same := true
+	for i := range a.Sizes {
+		if a.Sizes[i] != c.Sizes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := genTrace(t, 240, 4)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vbr.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPS != tr.FPS || len(got.Sizes) != len(tr.Sizes) {
+		t.Fatalf("round trip shape mismatch")
+	}
+	for i := range tr.Sizes {
+		if math.Abs(got.Sizes[i]-math.Round(tr.Sizes[i])) > 0.5 {
+			t.Fatalf("frame %d: %v vs %v", i, got.Sizes[i], tr.Sizes[i])
+		}
+	}
+}
+
+func TestReadTraceMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE\x01"),
+		"truncated": append([]byte("VBRT\x01"), 1, 2, 3),
+	}
+	for name, data := range cases {
+		if _, err := vbr.ReadTrace(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: malformed trace accepted", name)
+		}
+	}
+	// Version mismatch.
+	tr := genTrace(t, 24, 5)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99
+	if _, err := vbr.ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestSourcePacketization(t *testing.T) {
+	q := &eventq.Queue{}
+	var frames []float64
+	var total float64
+	c := sim.ConsumerFunc(func(f *sim.Frame) {
+		frames = append(frames, f.Bytes)
+		total += f.Bytes
+	})
+	tr := &vbr.Trace{FPS: 10, Sizes: []float64{120, 75}}
+	s := &vbr.Source{Q: q, Out: c, Flow: 1, Trace: tr, PktBytes: 50, Start: 0, Stop: 0.2}
+	s.Run()
+	q.Run()
+	// Frame 1: 50+50+20; frame 2: 50+25.
+	want := []float64{50, 50, 20, 50, 25}
+	if len(frames) != len(want) {
+		t.Fatalf("cells = %v", frames)
+	}
+	for i := range want {
+		if frames[i] != want[i] {
+			t.Errorf("cell %d = %v, want %v", i, frames[i], want[i])
+		}
+	}
+	if total != 195 {
+		t.Errorf("total = %v", total)
+	}
+}
+
+func TestSourceLoopsTrace(t *testing.T) {
+	q := &eventq.Queue{}
+	n := 0
+	c := sim.ConsumerFunc(func(f *sim.Frame) { n++ })
+	tr := &vbr.Trace{FPS: 10, Sizes: []float64{50}}
+	s := &vbr.Source{Q: q, Out: c, Flow: 1, Trace: tr, PktBytes: 50, Start: 0, Stop: 1.0}
+	s.Run()
+	q.Run()
+	if n != 10 {
+		t.Errorf("cells = %d, want 10 (trace loops)", n)
+	}
+}
+
+func TestPeakFrame(t *testing.T) {
+	tr := &vbr.Trace{FPS: 1, Sizes: []float64{10, 99, 5}}
+	if tr.PeakFrame() != 99 {
+		t.Errorf("peak = %v", tr.PeakFrame())
+	}
+}
