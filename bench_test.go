@@ -5,8 +5,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/qos"
 	"repro/internal/sched"
 	"repro/internal/server"
 )
@@ -260,5 +262,43 @@ func BenchmarkServerProcesses(b *testing.B) {
 				now = proc.Finish(now, 1000)
 			}
 		})
+	}
+}
+
+// BenchmarkConformanceReplay times one full conformance cycle — drive a
+// random workload through SFQ, apply the theorem-bound checkers, and replay
+// it on the brute-force reference for the differential comparison. This is
+// the unit of work the 1000-seed matrix repeats, so later performance PRs
+// can judge checker overhead against the BENCH_*.json trajectory.
+func BenchmarkConformanceReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		w := conformance.Random(rng, conformance.Kind(i%4), 12)
+		sch := core.New()
+		tr, res, err := conformance.Run(sch, w, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, check := range []error{
+			conformance.CheckAlignment(tr, res.Mon),
+			conformance.CheckConservation(tr, sch, w),
+			conformance.CheckPerFlowFIFO(tr),
+			conformance.CheckWorkConserving(tr, res.Mon),
+			conformance.CheckTheorem1(res.Mon, w, qos.SFQFairnessBound),
+			conformance.CheckTheorem2(res.Mon, w),
+			conformance.CheckTheorem4Delay(tr, res.Mon, w),
+		} {
+			if check != nil {
+				b.Fatal(check)
+			}
+		}
+		rtr, _, err := conformance.Run(conformance.NewRefSFQ(), w, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rtr.Deq) != len(tr.Deq) {
+			b.Fatal("reference replay diverged")
+		}
+		sink(b, float64(len(tr.Deq)))
 	}
 }

@@ -37,43 +37,7 @@ func main() {
 		}
 	}
 
-	runners := map[string]func() *experiments.Result{
-		"table1":   func() *experiments.Result { return experiments.Table1(*seed) },
-		"example1": experiments.Example1,
-		"example2": experiments.Example2,
-		"fig1b": func() *experiments.Result {
-			return experiments.Fig1b(experiments.Fig1Config{Scale: *scale, Seed: *seed})
-		},
-		"fig2a": experiments.Fig2a,
-		"fig2b": func() *experiments.Result {
-			return experiments.Fig2b(experiments.Fig2bConfig{Scale: *scale, Seed: *seed})
-		},
-		"fig3b": func() *experiments.Result {
-			return experiments.Fig3b(experiments.Fig3Config{Scale: *scale, Seed: *seed})
-		},
-		"scfqdelay": func() *experiments.Result { return experiments.SCFQDelay(*seed) },
-		"wfqdelta":  experiments.WFQDelta,
-		"example3":  experiments.Example3,
-		"delayshift": func() *experiments.Result {
-			return experiments.DelayShift(experiments.DelayShiftConfig{Scale: *scale, Seed: *seed})
-		},
-		"residual": func() *experiments.Result { return experiments.Residual(*seed) },
-		"e2ebound": func() *experiments.Result {
-			return experiments.EndToEndBound(experiments.E2EConfig{Scale: *scale, Seed: *seed})
-		},
-		"genrate": func() *experiments.Result { return experiments.GenRate(*seed) },
-		"ebftail": func() *experiments.Result {
-			return experiments.EBFTail(experiments.EBFTailConfig{Scale: *scale, Seed: *seed})
-		},
-		"bounds":         func() *experiments.Result { return experiments.Bounds(experiments.BoundsConfig{}) },
-		"ablation-tie":   func() *experiments.Result { return experiments.AblationTieBreak(*seed) },
-		"ablation-clock": func() *experiments.Result { return experiments.AblationWFQClock(*seed) },
-		"ablation-hier":  func() *experiments.Result { return experiments.AblationHierarchyOverhead(*seed) },
-	}
-	order := []string{"table1", "example1", "example2", "fig1b", "fig2a",
-		"fig2b", "fig3b", "scfqdelay", "wfqdelta", "example3", "delayshift",
-		"residual", "e2ebound", "ebftail", "genrate", "bounds",
-		"ablation-tie", "ablation-clock", "ablation-hier"}
+	runners, order := runnerTable(*scale, *seed)
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -88,6 +52,50 @@ func main() {
 		fmt.Print(run().String())
 		fmt.Println()
 	}
+}
+
+// runnerTable builds the experiment registry for the given parameters and
+// returns it with the paper-order id list. Exposed separately from main so
+// the golden-output test can run the exact same suite in-process.
+func runnerTable(scale float64, seed int64) (map[string]func() *experiments.Result, []string) {
+	runners := map[string]func() *experiments.Result{
+		"table1":   func() *experiments.Result { return experiments.Table1(seed) },
+		"example1": experiments.Example1,
+		"example2": experiments.Example2,
+		"fig1b": func() *experiments.Result {
+			return experiments.Fig1b(experiments.Fig1Config{Scale: scale, Seed: seed})
+		},
+		"fig2a": experiments.Fig2a,
+		"fig2b": func() *experiments.Result {
+			return experiments.Fig2b(experiments.Fig2bConfig{Scale: scale, Seed: seed})
+		},
+		"fig3b": func() *experiments.Result {
+			return experiments.Fig3b(experiments.Fig3Config{Scale: scale, Seed: seed})
+		},
+		"scfqdelay": func() *experiments.Result { return experiments.SCFQDelay(seed) },
+		"wfqdelta":  experiments.WFQDelta,
+		"example3":  experiments.Example3,
+		"delayshift": func() *experiments.Result {
+			return experiments.DelayShift(experiments.DelayShiftConfig{Scale: scale, Seed: seed})
+		},
+		"residual": func() *experiments.Result { return experiments.Residual(seed) },
+		"e2ebound": func() *experiments.Result {
+			return experiments.EndToEndBound(experiments.E2EConfig{Scale: scale, Seed: seed})
+		},
+		"genrate": func() *experiments.Result { return experiments.GenRate(seed) },
+		"ebftail": func() *experiments.Result {
+			return experiments.EBFTail(experiments.EBFTailConfig{Scale: scale, Seed: seed})
+		},
+		"bounds":         func() *experiments.Result { return experiments.Bounds(experiments.BoundsConfig{}) },
+		"ablation-tie":   func() *experiments.Result { return experiments.AblationTieBreak(seed) },
+		"ablation-clock": func() *experiments.Result { return experiments.AblationWFQClock(seed) },
+		"ablation-hier":  func() *experiments.Result { return experiments.AblationHierarchyOverhead(seed) },
+	}
+	order := []string{"table1", "example1", "example2", "fig1b", "fig2a",
+		"fig2b", "fig3b", "scfqdelay", "wfqdelta", "example3", "delayshift",
+		"residual", "e2ebound", "ebftail", "genrate", "bounds",
+		"ablation-tie", "ablation-clock", "ablation-hier"}
+	return runners, order
 }
 
 // dumpSeries writes the plottable raw data behind Figures 1(b) and 3(b).

@@ -1,0 +1,115 @@
+package conformance
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/schedtest"
+)
+
+// FluidDeparture records when one packet finishes in the GPS fluid
+// reference system. Seq is the packet's per-flow arrival index (0-based).
+type FluidDeparture struct {
+	Flow   int
+	Seq    int
+	Finish float64
+}
+
+// FluidGPS simulates the dense GPS fluid reference at constant rate c
+// bytes/s over the scripted arrivals: at every instant each backlogged
+// flow is served at rate c·w_f/Σ_{backlogged} w_n, and a packet departs
+// when its flow's cumulative fluid service covers it. This is the system
+// WFQ's eq (3) virtual time discretizes, so it serves as the differential
+// oracle for WFQ/FQS via the PGPS bound (a WFQ packet finishes no later
+// than its fluid finish time plus l_max/c) and as the ideal-fairness
+// reference (fluid normalized service of jointly backlogged flows is
+// exactly equal).
+//
+// The returned departures are sorted by fluid finish time (ties by flow
+// id). Arrivals need not be sorted.
+func FluidGPS(c float64, weights map[int]float64, arrivals []schedtest.Arrival) []FluidDeparture {
+	arr := append([]schedtest.Arrival(nil), arrivals...)
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].At < arr[j].At })
+
+	type fluidPkt struct {
+		seq int
+		rem float64
+	}
+	queues := make(map[int][]fluidPkt) // backlogged packets per flow, FIFO
+	seqs := make(map[int]int)
+	var out []FluidDeparture
+
+	sumW := 0.0
+	t := 0.0
+	i := 0
+	for i < len(arr) || len(queues) > 0 {
+		if len(queues) == 0 {
+			// Idle: jump to the next arrival.
+			t = math.Max(t, arr[i].At)
+		}
+		// Admit every arrival at or before t.
+		for i < len(arr) && arr[i].At <= t {
+			a := arr[i]
+			if _, backlogged := queues[a.Flow]; !backlogged {
+				sumW += weights[a.Flow]
+			}
+			queues[a.Flow] = append(queues[a.Flow], fluidPkt{seq: seqs[a.Flow], rem: a.Bytes})
+			seqs[a.Flow]++
+			i++
+		}
+		// Next event: earliest head-packet completion or next arrival.
+		tNext := math.Inf(1)
+		if i < len(arr) {
+			tNext = arr[i].At
+		}
+		completion := math.Inf(1)
+		for f, q := range queues {
+			dt := q[0].rem * sumW / (c * weights[f])
+			if t+dt < completion {
+				completion = t + dt
+			}
+		}
+		if tNext < completion {
+			// Serve fluid until the arrival, no departures.
+			for f, q := range queues {
+				q[0].rem -= (tNext - t) * c * weights[f] / sumW
+			}
+			t = tNext
+			continue
+		}
+		// Serve fluid until the earliest completion and drain every head
+		// that finished (simultaneous completions are possible).
+		for f, q := range queues {
+			q[0].rem -= (completion - t) * c * weights[f] / sumW
+		}
+		t = completion
+		var done []int
+		for f, q := range queues {
+			if q[0].rem <= 1e-9 {
+				done = append(done, f)
+			}
+		}
+		sort.Ints(done) // deterministic tie order
+		for _, f := range done {
+			q := queues[f]
+			out = append(out, FluidDeparture{Flow: f, Seq: q[0].seq, Finish: t})
+			q = q[1:]
+			if len(q) == 0 {
+				delete(queues, f)
+				sumW -= weights[f]
+				if sumW < 1e-12 {
+					sumW = 0
+				}
+			} else {
+				queues[f] = q
+			}
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Finish != out[b].Finish {
+			return out[a].Finish < out[b].Finish
+		}
+		return out[a].Flow < out[b].Flow
+	})
+	return out
+}

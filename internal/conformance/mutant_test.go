@@ -1,0 +1,189 @@
+package conformance
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// The mutants below are deliberately broken scheduler variants. Each must
+// be caught by the conformance suite within mutantSeeds random workloads —
+// the negative control that proves the checkers have teeth. Every mutant
+// reuses the reference SFQ's bookkeeping and breaks exactly one rule.
+const mutantSeeds = 300
+
+// mutantNoChain drops the per-flow finish-tag chain of eq (4): every
+// packet starts at the current virtual time, so a high-weight flow loses
+// its accumulated claim and service degenerates toward round robin.
+type mutantNoChain struct{ *RefSFQ }
+
+func (m *mutantNoChain) Enqueue(now float64, p *sched.Packet) error {
+	if err := m.RefSFQ.Enqueue(now, p); err != nil {
+		return err
+	}
+	r := m.weights[p.Flow]
+	if p.Rate > 0 {
+		r = p.Rate
+	}
+	p.VirtualStart = m.v // should be max(v, F_prev)
+	p.VirtualFinish = m.v + p.Length/r
+	return nil
+}
+
+// mutantStaleV omits the end-of-busy-period rule: the virtual time is
+// never advanced to the maximum finish tag, so flows returning after an
+// idle span inherit a stale, too-small v.
+type mutantStaleV struct{ *RefSFQ }
+
+func (m *mutantStaleV) Dequeue(now float64) (*sched.Packet, bool) {
+	wasBusy := m.busy
+	savedV := m.v
+	p, ok := m.RefSFQ.Dequeue(now)
+	if !ok && wasBusy {
+		m.v = savedV // undo the busy-period jump
+	}
+	return p, ok
+}
+
+// mutantLIFO serves the maximum start tag instead of the minimum: newest
+// work first, violating both per-flow FIFO order and every fairness bound.
+type mutantLIFO struct{ *RefSFQ }
+
+func (m *mutantLIFO) Dequeue(now float64) (*sched.Packet, bool) {
+	if len(m.queue) == 0 {
+		return m.RefSFQ.Dequeue(now)
+	}
+	best := 0
+	for i := 1; i < len(m.queue); i++ {
+		if m.queue[i].VirtualStart >= m.queue[best].VirtualStart {
+			best = i
+		}
+	}
+	p := m.queue[best]
+	m.queue = append(m.queue[:best], m.queue[best+1:]...)
+	m.busy = true
+	m.v = p.VirtualStart
+	if p.VirtualFinish > m.maxFinish {
+		m.maxFinish = p.VirtualFinish
+	}
+	return p, true
+}
+
+// mutantDropper silently discards every fifth packet at enqueue while
+// reporting success — the packet-conservation failure mode.
+type mutantDropper struct {
+	*RefSFQ
+	n int
+}
+
+func (m *mutantDropper) Enqueue(now float64, p *sched.Packet) error {
+	m.n++
+	if m.n%5 == 0 {
+		return nil // accepted, never queued
+	}
+	return m.RefSFQ.Enqueue(now, p)
+}
+
+// TestMutantsCaught runs each mutant through the same harness the real
+// schedulers must pass and requires a violation, checking that the
+// expected checker family is the one that fires.
+func TestMutantsCaught(t *testing.T) {
+	cases := []struct {
+		sut        sut
+		expect     []string // acceptable error-message prefixes
+		expectSeed int      // informational: all must be caught quickly
+	}{
+		{
+			sut: sut{
+				name: "no-chain", kinds: noRateKinds,
+				make: func(Workload) sched.Interface { return &mutantNoChain{NewRefSFQ()} },
+				thm1: sfqThm1,
+				thm2: true,
+				thm4: true,
+			},
+			expect: []string{"Theorem 1", "Theorem 2", "Theorem 4"},
+		},
+		{
+			sut: sut{
+				name: "stale-v", kinds: noRateKinds,
+				make: func(Workload) sched.Interface { return &mutantStaleV{NewRefSFQ()} },
+				thm1: sfqThm1,
+				thm2: true,
+				thm4: true,
+				ref:  refExact,
+			},
+			expect: []string{"differential", "Theorem 1", "Theorem 2", "Theorem 4"},
+		},
+		{
+			sut: sut{
+				name: "lifo", kinds: noRateKinds,
+				make: func(Workload) sched.Interface { return &mutantLIFO{NewRefSFQ()} },
+			},
+			expect: []string{"per-flow FIFO"},
+		},
+		{
+			sut: sut{
+				name: "dropper", kinds: noRateKinds,
+				make: func(Workload) sched.Interface { return &mutantDropper{RefSFQ: NewRefSFQ()} },
+			},
+			expect: []string{"conservation"},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.sut.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < mutantSeeds; seed++ {
+				err := runOne(c.sut, seed)
+				if err == nil {
+					continue
+				}
+				for _, want := range c.expect {
+					if strings.Contains(err.Error(), want) {
+						t.Logf("caught at seed %d: %v", seed, err)
+						return
+					}
+				}
+				t.Fatalf("seed %d: caught by unexpected checker: %v", seed, err)
+			}
+			t.Fatalf("mutant survived %d seeds — checkers are blind to it", mutantSeeds)
+		})
+	}
+}
+
+// TestMutantUnfairnessGrows documents WHY the no-chain mutant is unfair:
+// with the chain removed, two continuously backlogged flows of unequal
+// weight converge to equal byte shares, so the normalized-service gap
+// grows linearly with time instead of staying bounded.
+func TestMutantUnfairnessGrows(t *testing.T) {
+	m := &mutantNoChain{NewRefSFQ()}
+	if err := m.AddFlow(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddFlow(2, 400); err != nil {
+		t.Fatal(err)
+	}
+	served := map[int]float64{}
+	seq := map[int]int64{}
+	for i := 0; i < 400; i++ {
+		for flow := 1; flow <= 2; flow++ {
+			if m.QueuedBytes(flow) == 0 {
+				seq[flow]++
+				if err := m.Enqueue(float64(i), &sched.Packet{Flow: flow, Seq: seq[flow], Length: 100}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		p, ok := m.Dequeue(float64(i))
+		if !ok {
+			t.Fatal("queue unexpectedly empty")
+		}
+		served[p.Flow] += p.Length
+	}
+	gap := math.Abs(served[1]/100 - served[2]/400)
+	if bound := 100.0/100 + 100.0/400; gap < 4*bound {
+		t.Fatalf("expected unfairness far beyond the Theorem 1 bound %v, got %v", bound, gap)
+	}
+}

@@ -1,0 +1,208 @@
+package conformance
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/schedtest"
+)
+
+// TestRefSFQLockstepUnit runs the production SFQ and the reference SFQ
+// through one scripted operation sequence — including error paths the
+// randomized driver never exercises — asserting identical observable
+// behaviour after every step.
+func TestRefSFQLockstepUnit(t *testing.T) {
+	prod, ref := core.New(), NewRefSFQ()
+
+	type pair struct{ a, b *sched.Packet }
+	mk := func(flow int, seq int64, l, rate float64) pair {
+		return pair{
+			&sched.Packet{Flow: flow, Seq: seq, Length: l, Rate: rate},
+			&sched.Packet{Flow: flow, Seq: seq, Length: l, Rate: rate},
+		}
+	}
+	same := func(step string, ea, eb error) {
+		t.Helper()
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("%s: production err %v, reference err %v", step, ea, eb)
+		}
+		for _, sentinel := range []error{
+			sched.ErrUnknownFlow, sched.ErrFlowBusy, sched.ErrBadWeight,
+			sched.ErrBadPacket, sched.ErrTimeWentBack,
+		} {
+			if errors.Is(ea, sentinel) != errors.Is(eb, sentinel) {
+				t.Fatalf("%s: production err %v, reference err %v", step, ea, eb)
+			}
+		}
+	}
+	state := func(step string) {
+		t.Helper()
+		if prod.V() != ref.V() {
+			t.Fatalf("%s: production v %v, reference v %v", step, prod.V(), ref.V())
+		}
+		if prod.Len() != ref.Len() {
+			t.Fatalf("%s: production Len %d, reference Len %d", step, prod.Len(), ref.Len())
+		}
+		for flow := 1; flow <= 3; flow++ {
+			if pa, pb := prod.QueuedBytes(flow), ref.QueuedBytes(flow); pa != pb {
+				t.Fatalf("%s: flow %d QueuedBytes %v vs reference %v", step, flow, pa, pb)
+			}
+		}
+	}
+	enq := func(step string, now float64, p pair) {
+		t.Helper()
+		same(step, prod.Enqueue(now, p.a), ref.Enqueue(now, p.b))
+		if p.a.VirtualStart != p.b.VirtualStart || p.a.VirtualFinish != p.b.VirtualFinish {
+			t.Fatalf("%s: tags (%v,%v) vs reference (%v,%v)",
+				step, p.a.VirtualStart, p.a.VirtualFinish, p.b.VirtualStart, p.b.VirtualFinish)
+		}
+		state(step)
+	}
+	deq := func(step string, now float64) {
+		t.Helper()
+		pa, oka := prod.Dequeue(now)
+		pb, okb := ref.Dequeue(now)
+		if oka != okb {
+			t.Fatalf("%s: production ok=%v, reference ok=%v", step, oka, okb)
+		}
+		if oka && (pa.Flow != pb.Flow || pa.Seq != pb.Seq || pa.VirtualStart != pb.VirtualStart) {
+			t.Fatalf("%s: popped flow %d seq %d tag %v, reference flow %d seq %d tag %v",
+				step, pa.Flow, pa.Seq, pa.VirtualStart, pb.Flow, pb.Seq, pb.VirtualStart)
+		}
+		state(step)
+	}
+
+	same("add flow 1", prod.AddFlow(1, 100), ref.AddFlow(1, 100))
+	same("add flow 2", prod.AddFlow(2, 300), ref.AddFlow(2, 300))
+	same("bad weight", prod.AddFlow(3, -1), ref.AddFlow(3, -1))
+	same("unknown flow enqueue",
+		prod.Enqueue(0, &sched.Packet{Flow: 9, Length: 10}),
+		ref.Enqueue(0, &sched.Packet{Flow: 9, Length: 10}))
+	same("bad packet",
+		prod.Enqueue(0, &sched.Packet{Flow: 1, Length: 0}),
+		ref.Enqueue(0, &sched.Packet{Flow: 1, Length: 0}))
+
+	enq("p1 f1", 0, mk(1, 1, 100, 0))
+	enq("p2 f2", 0, mk(2, 1, 120, 0))
+	enq("p3 f1 (chained)", 0.1, mk(1, 2, 50, 0))
+	enq("p4 f2 rate-override", 0.1, mk(2, 2, 60, 600))
+	same("remove busy flow", prod.RemoveFlow(1), ref.RemoveFlow(1))
+	same("time went back",
+		prod.Enqueue(0.05, &sched.Packet{Flow: 1, Length: 10}),
+		ref.Enqueue(0.05, &sched.Packet{Flow: 1, Length: 10}))
+
+	deq("deq 1", 0.2)
+	deq("deq 2", 0.5)
+	enq("p5 f1 mid-busy", 0.6, mk(1, 3, 80, 0))
+	deq("deq 3", 0.7)
+	deq("deq 4", 0.9)
+	deq("deq 5", 1.0)
+	deq("deq empty (busy-period end)", 1.1) // both must jump v to max finish
+	enq("p6 f1 new busy period", 2.0, mk(1, 4, 40, 0))
+	deq("deq 6", 2.1)
+	deq("deq empty again", 2.2)
+	same("remove idle flow", prod.RemoveFlow(1), ref.RemoveFlow(1))
+	same("remove unknown flow", prod.RemoveFlow(1), ref.RemoveFlow(1))
+}
+
+// TestFluidGPSAnalytic pins the fluid oracle to hand-computed schedules.
+func TestFluidGPSAnalytic(t *testing.T) {
+	approx := func(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+	t.Run("single flow back to back", func(t *testing.T) {
+		out := FluidGPS(100, map[int]float64{1: 70}, []schedtest.Arrival{
+			{At: 0, Flow: 1, Bytes: 200},
+			{At: 0, Flow: 1, Bytes: 100},
+		})
+		// Alone, the flow gets the full link rate: 2s then 1s more.
+		if len(out) != 2 || !approx(out[0].Finish, 2) || !approx(out[1].Finish, 3) {
+			t.Fatalf("got %+v", out)
+		}
+	})
+
+	t.Run("equal weights share equally", func(t *testing.T) {
+		out := FluidGPS(100, map[int]float64{1: 5, 2: 5}, []schedtest.Arrival{
+			{At: 0, Flow: 1, Bytes: 100},
+			{At: 0, Flow: 2, Bytes: 100},
+		})
+		// Each is served at 50 B/s; both finish at t=2 (tie sorted by flow).
+		if len(out) != 2 || !approx(out[0].Finish, 2) || !approx(out[1].Finish, 2) ||
+			out[0].Flow != 1 || out[1].Flow != 2 {
+			t.Fatalf("got %+v", out)
+		}
+	})
+
+	t.Run("2:1 weights", func(t *testing.T) {
+		out := FluidGPS(100, map[int]float64{1: 2, 2: 1}, []schedtest.Arrival{
+			{At: 0, Flow: 1, Bytes: 100},
+			{At: 0, Flow: 2, Bytes: 100},
+		})
+		// Flow 1 at 66.7 B/s finishes at 1.5; flow 2 has 50 B left and the
+		// whole link: 1.5 + 0.5 = 2.
+		if len(out) != 2 || out[0].Flow != 1 || !approx(out[0].Finish, 1.5) ||
+			out[1].Flow != 2 || !approx(out[1].Finish, 2) {
+			t.Fatalf("got %+v", out)
+		}
+	})
+
+	t.Run("idle gap then arrival", func(t *testing.T) {
+		out := FluidGPS(100, map[int]float64{1: 10}, []schedtest.Arrival{
+			{At: 0, Flow: 1, Bytes: 50},
+			{At: 5, Flow: 1, Bytes: 50},
+		})
+		if len(out) != 2 || !approx(out[0].Finish, 0.5) || !approx(out[1].Finish, 5.5) {
+			t.Fatalf("got %+v", out)
+		}
+	})
+}
+
+// TestRefSFQTagsMatchPaperExample pins the reference oracle itself to the
+// eq (4)–(5) arithmetic on a tiny hand-worked schedule, so the
+// differential tests are anchored to the paper and not merely to
+// agreement between two implementations.
+func TestRefSFQTagsMatchPaperExample(t *testing.T) {
+	s := NewRefSFQ()
+	if err := s.AddFlow(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddFlow(2, 30); err != nil {
+		t.Fatal(err)
+	}
+	// Both flows enqueue a 60-byte packet at t=0: S=0, F = 60/10 = 6 and
+	// 60/30 = 2 respectively.
+	p1 := &sched.Packet{Flow: 1, Seq: 1, Length: 60}
+	p2 := &sched.Packet{Flow: 2, Seq: 1, Length: 60}
+	for _, p := range []*sched.Packet{p1, p2} {
+		if err := s.Enqueue(0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p1.VirtualStart != 0 || p1.VirtualFinish != 6 || p2.VirtualStart != 0 || p2.VirtualFinish != 2 {
+		t.Fatalf("tags: p1 (%v,%v) p2 (%v,%v)", p1.VirtualStart, p1.VirtualFinish, p2.VirtualStart, p2.VirtualFinish)
+	}
+	// FIFO tie: p1 first; v stays 0.
+	if got, ok := s.Dequeue(0); !ok || got != p1 || s.V() != 0 {
+		t.Fatalf("first dequeue: %+v v=%v", got, s.V())
+	}
+	// Flow 2's next packet chains off F=2.
+	p3 := &sched.Packet{Flow: 2, Seq: 2, Length: 30}
+	if err := s.Enqueue(1, p3); err != nil {
+		t.Fatal(err)
+	}
+	if p3.VirtualStart != 2 || p3.VirtualFinish != 3 {
+		t.Fatalf("p3 tags (%v,%v)", p3.VirtualStart, p3.VirtualFinish)
+	}
+	if got, ok := s.Dequeue(2); !ok || got != p2 || s.V() != 0 {
+		t.Fatalf("second dequeue: %+v v=%v", got, s.V())
+	}
+	if got, ok := s.Dequeue(3); !ok || got != p3 || s.V() != 2 {
+		t.Fatalf("third dequeue: %+v v=%v", got, s.V())
+	}
+	// Busy period ends: v jumps to the max finish tag (6, from p1).
+	if _, ok := s.Dequeue(4); ok || s.V() != 6 {
+		t.Fatalf("after drain: v=%v", s.V())
+	}
+}

@@ -1,0 +1,150 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// TestRemoveFlowBacklogged is the regression suite for flow teardown: a
+// backlogged flow must refuse removal with ErrFlowBusy and remain fully
+// usable afterwards (its state untouched by the failed attempt), removal
+// must succeed once drained, and a removed flow must reject traffic until
+// re-added. This pins the FlowTable.Remove ordering — the busy check runs
+// before any per-flow state is deleted — for every scheduler at once.
+func TestRemoveFlowBacklogged(t *testing.T) {
+	factories := map[string]func() sched.Interface{
+		"sfq":           func() sched.Interface { return core.New() },
+		"flowsfq":       func() sched.Interface { return core.NewFlowSFQ() },
+		"hsfq":          func() sched.Interface { return core.NewHSFQ() },
+		"refsfq":        func() sched.Interface { return NewRefSFQ() },
+		"scfq":          func() sched.Interface { return sched.NewSCFQ() },
+		"wfq":           func() sched.Interface { return sched.NewWFQ(1000) },
+		"fqs":           func() sched.Interface { return sched.NewFQS(1000) },
+		"vclock":        func() sched.Interface { return sched.NewVirtualClock() },
+		"edd":           func() sched.Interface { return sched.NewEDD() },
+		"drr":           func() sched.Interface { return sched.NewDRR(10) },
+		"fifo":          func() sched.Interface { return sched.NewFIFO() },
+		"fairairport":   func() sched.Interface { return sched.NewFairAirport() },
+		"priority-fifo": func() sched.Interface { return sched.NewPriority(sched.NewFIFO()) },
+	}
+	for name, mk := range factories {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if err := s.AddFlow(1, 100); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AddFlow(2, 200); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Enqueue(0, &sched.Packet{Flow: 1, Seq: 1, Length: 50}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.RemoveFlow(1); !errors.Is(err, sched.ErrFlowBusy) {
+				t.Fatalf("removing backlogged flow: got %v, want ErrFlowBusy", err)
+			}
+			// The failed removal must not have corrupted the flow: it still
+			// accepts and accounts for traffic.
+			if err := s.Enqueue(1, &sched.Packet{Flow: 1, Seq: 2, Length: 30}); err != nil {
+				t.Fatalf("enqueue after failed removal: %v", err)
+			}
+			if got := s.QueuedBytes(1); got != 80 {
+				t.Fatalf("QueuedBytes after failed removal = %v, want 80", got)
+			}
+			if got := s.Len(); got != 2 {
+				t.Fatalf("Len after failed removal = %d, want 2", got)
+			}
+			// A flow with a packet IN SERVICE (dequeued, not yet another
+			// queued) must also be protected where the scheduler tracks it.
+			for i := 0; i < 2; i++ {
+				if _, ok := s.Dequeue(float64(2 + i)); !ok {
+					t.Fatalf("dequeue %d failed", i)
+				}
+			}
+			if _, ok := s.Dequeue(10); ok {
+				t.Fatal("queue should be empty")
+			}
+			if err := s.RemoveFlow(1); err != nil {
+				t.Fatalf("removing drained flow: %v", err)
+			}
+			if err := s.Enqueue(11, &sched.Packet{Flow: 1, Seq: 3, Length: 10}); !errors.Is(err, sched.ErrUnknownFlow) {
+				t.Fatalf("enqueue on removed flow: got %v, want ErrUnknownFlow", err)
+			}
+			if err := s.RemoveFlow(1); !errors.Is(err, sched.ErrUnknownFlow) {
+				t.Fatalf("double removal: got %v, want ErrUnknownFlow", err)
+			}
+			// Re-adding starts a fresh, working flow.
+			if err := s.AddFlow(1, 100); err != nil {
+				t.Fatalf("re-add: %v", err)
+			}
+			if err := s.Enqueue(12, &sched.Packet{Flow: 1, Seq: 1, Length: 10}); err != nil {
+				t.Fatalf("enqueue after re-add: %v", err)
+			}
+			if p, ok := s.Dequeue(13); !ok || p.Flow != 1 {
+				t.Fatalf("dequeue after re-add: %+v %v", p, ok)
+			}
+		})
+	}
+}
+
+// TestRemoveFlowPreservesTagChain pins the SFQ-specific hazard the audit
+// targeted: a FAILED RemoveFlow of a backlogged flow must not discard the
+// flow's finish-tag chain (eq 4 uses F(p_f^{j-1})), and a successful
+// remove + re-add MUST reset it — the documented fresh-chain semantics.
+func TestRemoveFlowPreservesTagChain(t *testing.T) {
+	for name, mk := range map[string]func() sched.Interface{
+		"sfq":     func() sched.Interface { return core.New() },
+		"flowsfq": func() sched.Interface { return core.NewFlowSFQ() },
+		"refsfq":  func() sched.Interface { return NewRefSFQ() },
+	} {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if err := s.AddFlow(1, 100); err != nil {
+				t.Fatal(err)
+			}
+			p1 := &sched.Packet{Flow: 1, Seq: 1, Length: 50}
+			if err := s.Enqueue(0, p1); err != nil {
+				t.Fatal(err)
+			}
+			if p1.VirtualFinish != 0.5 {
+				t.Fatalf("p1 finish tag = %v, want 0.5", p1.VirtualFinish)
+			}
+			if err := s.RemoveFlow(1); !errors.Is(err, sched.ErrFlowBusy) {
+				t.Fatalf("got %v, want ErrFlowBusy", err)
+			}
+			// Chain intact: p2 starts at F(p1), not at v = 0.
+			p2 := &sched.Packet{Flow: 1, Seq: 2, Length: 50}
+			if err := s.Enqueue(0, p2); err != nil {
+				t.Fatal(err)
+			}
+			if p2.VirtualStart != p1.VirtualFinish {
+				t.Fatalf("chain broken by failed removal: p2 start = %v, want %v",
+					p2.VirtualStart, p1.VirtualFinish)
+			}
+			for i := 0; i < 2; i++ {
+				if _, ok := s.Dequeue(float64(i + 1)); !ok {
+					t.Fatal("dequeue failed")
+				}
+			}
+			s.Dequeue(3) // end busy period: v jumps to max finish (1.0)
+			if err := s.RemoveFlow(1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AddFlow(1, 100); err != nil {
+				t.Fatal(err)
+			}
+			// Fresh chain: the re-added flow starts at v, not at its old F.
+			p3 := &sched.Packet{Flow: 1, Seq: 3, Length: 50}
+			if err := s.Enqueue(4, p3); err != nil {
+				t.Fatal(err)
+			}
+			if p3.VirtualStart != 1.0 {
+				t.Fatalf("re-added flow start = %v, want v = 1.0 (fresh chain)", p3.VirtualStart)
+			}
+		})
+	}
+}

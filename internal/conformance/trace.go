@@ -1,0 +1,75 @@
+package conformance
+
+import (
+	"repro/internal/sched"
+	"repro/internal/schedtest"
+	"repro/internal/server"
+)
+
+// Stamp records one scheduler operation: the packet and the scheduler
+// clock at which the operation happened.
+type Stamp struct {
+	Now float64
+	P   *sched.Packet
+}
+
+// Trace is the operation log of one run: every successful Enqueue in
+// call order and every successful Dequeue in service order. The replay
+// checkers in invariants.go consume it alongside the sim.Monitor service
+// records (Trace.Deq[i] is the packet of Monitor.Records[i]: a link
+// transmits packets sequentially in dequeue order).
+type Trace struct {
+	Enq []Stamp
+	Deq []Stamp
+}
+
+// recorder decorates a scheduler, logging successful operations.
+type recorder struct {
+	inner sched.Interface
+	tr    *Trace
+}
+
+// Record wraps sch so that every successful Enqueue/Dequeue is appended
+// to the returned Trace.
+func Record(sch sched.Interface) (sched.Interface, *Trace) {
+	tr := &Trace{}
+	return &recorder{inner: sch, tr: tr}, tr
+}
+
+func (r *recorder) AddFlow(flow int, weight float64) error { return r.inner.AddFlow(flow, weight) }
+func (r *recorder) RemoveFlow(flow int) error              { return r.inner.RemoveFlow(flow) }
+func (r *recorder) Len() int                               { return r.inner.Len() }
+func (r *recorder) QueuedBytes(flow int) float64           { return r.inner.QueuedBytes(flow) }
+
+func (r *recorder) Enqueue(now float64, p *sched.Packet) error {
+	if err := r.inner.Enqueue(now, p); err != nil {
+		return err
+	}
+	r.tr.Enq = append(r.tr.Enq, Stamp{Now: now, P: p})
+	return nil
+}
+
+func (r *recorder) Dequeue(now float64) (*sched.Packet, bool) {
+	p, ok := r.inner.Dequeue(now)
+	if ok {
+		r.tr.Deq = append(r.tr.Deq, Stamp{Now: now, P: p})
+	}
+	return p, ok
+}
+
+// Run registers the workload's flows on sch, drives it over the workload
+// arrivals on a link served by proc, and returns the trace plus the
+// simulator artifacts. A nil proc means a constant-rate server at w.C.
+func Run(sch sched.Interface, w Workload, proc server.Process) (*Trace, *schedtest.Result, error) {
+	for _, f := range w.Flows {
+		if err := sch.AddFlow(f.Flow, f.Weight); err != nil {
+			return nil, nil, err
+		}
+	}
+	if proc == nil {
+		proc = server.NewConstantRate(w.C)
+	}
+	rec, tr := Record(sch)
+	res := schedtest.Drive(rec, proc, w.Arrivals)
+	return tr, res, nil
+}

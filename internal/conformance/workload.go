@@ -1,0 +1,161 @@
+package conformance
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/schedtest"
+)
+
+// Kind selects the shape of a generated workload.
+type Kind int
+
+// Workload shapes. NumKinds is the count, for seed % NumKinds rotation.
+const (
+	// Bursty: every flow dumps its packets near t = 0 — the heavily
+	// backlogged regime Theorem 1 is about.
+	Bursty Kind = iota
+	// Sporadic: arrivals spread at roughly the weight-implied rates, so
+	// flows alternate between backlogged and idle — the busy-period
+	// bookkeeping regime.
+	Sporadic
+	// OnOff: each flow alternates dense bursts with silences.
+	OnOff
+	// Greedy: one flow is fully backlogged from t = 0 while the others
+	// trickle — the starvation/monopolization regime.
+	Greedy
+	// VariableRate: bursty arrivals carrying per-packet rates (eq 36),
+	// drawn at or below the flow weight so Σ rates stays admissible.
+	VariableRate
+	NumKinds
+)
+
+// Workload couples flow registrations with an arrival script sized for a
+// constant-rate link of C bytes/s (Σ weights <= C, so the Theorem 2/4
+// premises hold).
+type Workload struct {
+	Flows    []schedtest.FlowSpec
+	Arrivals []schedtest.Arrival
+	C        float64
+	Kind     Kind
+}
+
+// HasPacketRates reports whether any arrival carries a per-packet rate
+// (eq 36); the flow-rate-based bound checkers skip such workloads.
+func (w Workload) HasPacketRates() bool {
+	for _, a := range w.Arrivals {
+		if a.Rate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Lmax returns the maximum packet length of flow in the script (0 if the
+// flow never sends). The theorem checkers use observed maxima: they are
+// the exact l^max values of the run.
+func (w Workload) Lmax(flow int) float64 {
+	m := 0.0
+	for _, a := range w.Arrivals {
+		if a.Flow == flow && a.Bytes > m {
+			m = a.Bytes
+		}
+	}
+	return m
+}
+
+// LmaxAll returns the maximum packet length across all flows (the
+// server-wide l_max of the WFQ/FA delay bounds).
+func (w Workload) LmaxAll() float64 {
+	m := 0.0
+	for _, a := range w.Arrivals {
+		if a.Bytes > m {
+			m = a.Bytes
+		}
+	}
+	return m
+}
+
+// Random generates a seeded workload of the given kind: 2–4 flows with
+// random weights normalized so Σ w ∈ [C/2, C], random packet-size caps,
+// and pktsPerFlow packets per flow. All randomness comes from rng, so a
+// (seed, kind, pktsPerFlow) triple names the workload exactly.
+func Random(rng *rand.Rand, kind Kind, pktsPerFlow int) Workload {
+	const c = 1e4 // bytes/s; sizes below keep runs O(seconds) of sim time
+	nf := 2 + rng.Intn(3)
+	raw := make([]float64, nf)
+	sum := 0.0
+	for i := range raw {
+		raw[i] = 0.1 + rng.Float64()
+		sum += raw[i]
+	}
+	util := 0.5 + rng.Float64()*0.5
+	flows := make([]schedtest.FlowSpec, nf)
+	for i := range flows {
+		flows[i] = schedtest.FlowSpec{
+			Flow:     i + 1,
+			Weight:   raw[i] / sum * c * util,
+			MaxBytes: 40 + rng.Float64()*360,
+		}
+	}
+
+	var arr []schedtest.Arrival
+	switch kind {
+	case Bursty:
+		arr = schedtest.RandomBacklogged(rng, flows, pktsPerFlow)
+	case Sporadic:
+		horizon := float64(pktsPerFlow) * 200 / (c / float64(nf))
+		arr = schedtest.RandomSporadic(rng, flows, pktsPerFlow, horizon)
+	case OnOff:
+		for _, f := range flows {
+			t := rng.Float64() * 0.01
+			left := pktsPerFlow
+			for left > 0 {
+				burst := 1 + rng.Intn(pktsPerFlow/2+1)
+				if burst > left {
+					burst = left
+				}
+				left -= burst
+				for i := 0; i < burst; i++ {
+					size := f.MaxBytes/4 + rng.Float64()*f.MaxBytes*3/4
+					arr = append(arr, schedtest.Arrival{At: t, Flow: f.Flow, Bytes: size})
+					t += rng.Float64() * size / c // near back-to-back
+				}
+				// Silence long enough for the flow to drain at its share.
+				t += (1 + rng.Float64()*3) * float64(burst) * f.MaxBytes / f.Weight
+			}
+		}
+	case Greedy:
+		for i, f := range flows {
+			if i == 0 {
+				for j := 0; j < 2*pktsPerFlow; j++ {
+					size := f.MaxBytes/4 + rng.Float64()*f.MaxBytes*3/4
+					arr = append(arr, schedtest.Arrival{At: rng.Float64() * 1e-3, Flow: f.Flow, Bytes: size})
+				}
+				continue
+			}
+			t := rng.Float64() * 0.1
+			for j := 0; j < pktsPerFlow; j++ {
+				size := f.MaxBytes/4 + rng.Float64()*f.MaxBytes*3/4
+				arr = append(arr, schedtest.Arrival{At: t, Flow: f.Flow, Bytes: size})
+				t += (size / f.Weight) * (1 + rng.Float64()*2)
+			}
+		}
+	case VariableRate:
+		for _, f := range flows {
+			for j := 0; j < pktsPerFlow; j++ {
+				size := f.MaxBytes/4 + rng.Float64()*f.MaxBytes*3/4
+				arr = append(arr, schedtest.Arrival{
+					At:    rng.Float64() * 2e-3,
+					Flow:  f.Flow,
+					Bytes: size,
+					Rate:  f.Weight * (0.3 + rng.Float64()*0.7), // <= weight: Σ stays admissible
+				})
+			}
+		}
+	default:
+		panic("conformance: unknown workload kind")
+	}
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].At < arr[j].At })
+	return Workload{Flows: flows, Arrivals: arr, C: c, Kind: kind}
+}

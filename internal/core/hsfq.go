@@ -36,7 +36,8 @@ type HSFQ struct {
 	bytes   map[int]float64
 	total   int
 	last    float64
-	classes int // id generator for interior nodes
+	busy    bool // a packet is in service at the link
+	classes int  // id generator for interior nodes
 }
 
 // Class is a node in the link-sharing tree. Interior classes aggregate
@@ -247,14 +248,24 @@ func (h *HSFQ) Enqueue(now float64, p *Packet) error {
 
 // Dequeue recursively selects the minimum-start-tag path from the root and
 // pops the packet at its leaf, updating tags level by level (eq 5 with the
-// transmitted packet's length).
+// transmitted packet's length). A Dequeue that finds the tree empty marks
+// the end of the root's busy period: only then does the root virtual time
+// jump to the maximum finish tag (step 2 of the algorithm) — the packet
+// most recently handed out is still in service until the caller asks for
+// the next one, exactly as in SFQ, so a flat tree is packet-for-packet
+// identical to the SFQ scheduler.
 func (h *HSFQ) Dequeue(now float64) (*Packet, bool) {
 	if now > h.last {
 		h.last = now
 	}
 	if h.root.childHeap.Len() == 0 {
+		if h.busy {
+			h.busy = false
+			h.root.v = h.root.maxFinish
+		}
 		return nil, false
 	}
+	h.busy = true
 	p := h.root.dequeue(now)
 	h.bytes[p.Flow] -= p.Length
 	if leaf := h.leaves[p.Flow]; leaf != nil && !leaf.hasContent() {
@@ -325,18 +336,7 @@ func (n *Class) dequeue(now float64) *Packet {
 			c.v = c.maxFinish
 		}
 	}
-	if n.childHeap.Len() == 0 {
-		n.maybeEndBusy()
-	}
 	return p
-}
-
-// maybeEndBusy applies the busy-period rule at the root (interior nodes
-// handle it in their parent's dequeue path).
-func (n *Class) maybeEndBusy() {
-	if n.parent == nil { // root
-		n.v = n.maxFinish
-	}
 }
 
 // Len returns the number of queued packets across the whole tree.

@@ -39,9 +39,13 @@ func Residual(seed int64) *Result {
 		panic(err)
 	}
 	// Two low-priority flows; Σ r = C − ρ (full admission of the residual).
+	// Iterate flows in a fixed order everywhere below: the loops consume rng
+	// and schedule events, so map-range order would make the output
+	// nondeterministic across runs.
+	flows := []int{2, 3}
 	weights := map[int]float64{2: 2000, 3: 4000}
-	for f, w := range weights {
-		if err := prio.AddFlowAt(1, f, w); err != nil {
+	for _, f := range flows {
+		if err := prio.AddFlowAt(1, f, weights[f]); err != nil {
 			panic(err)
 		}
 	}
@@ -63,7 +67,8 @@ func Residual(seed int64) *Result {
 		bytes float64
 	}
 	arrivals := map[int][]pktRec{}
-	for f, w := range weights {
+	for _, f := range flows {
+		w := weights[f]
 		t := 0.1 + rng.Float64()*0.05
 		for t < duration {
 			b := pkt
@@ -71,9 +76,9 @@ func Residual(seed int64) *Result {
 			t += b / w * (1 + rng.Float64()) // at or below the reserved rate
 		}
 	}
-	for f, recs := range arrivals {
+	for _, f := range flows {
 		f := f
-		for _, rec := range recs {
+		for _, rec := range arrivals[f] {
 			rec := rec
 			q.At(rec.at, func() {
 				link.Deliver(&sim.Frame{Flow: f, Bytes: rec.bytes, Created: q.Now()})
@@ -86,11 +91,11 @@ func Residual(seed int64) *Result {
 	resFC := server.FCParams{C: c - rho, Delta: sigma}
 	violations := 0
 	worstSlack := stats.Welford{}
-	for f, w := range weights {
+	for _, f := range flows {
 		var chain qos.EAT
 		eats := make([]float64, len(arrivals[f]))
 		for i, rec := range arrivals[f] {
-			eats[i] = chain.Next(rec.at, rec.bytes, w)
+			eats[i] = chain.Next(rec.at, rec.bytes, weights[f])
 		}
 		i := 0
 		for _, sr := range mon.Records {
