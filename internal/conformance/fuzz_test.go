@@ -1,0 +1,86 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// planFromBytes decodes an arbitrary byte string into a valid fault plan:
+// a cursor-advancing grammar guarantees sortedness and non-overlap for any
+// input, so the fuzzer explores schedules freely without tripping the
+// constructors' validation. Op layout: each op consumes 3 bytes
+// (op, a, b); op%4 selects episode / outage / loss probabilities / skip.
+func planFromBytes(data []byte, horizon float64) FaultPlan {
+	plan := FaultPlan{LossSeed: int64(len(data))}
+	epCursor, outCursor := 0.0, 0.0
+	for i := 0; i+2 < len(data); i += 3 {
+		op, a, b := data[i], float64(data[i+1])/255, float64(data[i+2])/255
+		switch op % 4 {
+		case 0:
+			start := epCursor + a*horizon/4
+			dur := b*horizon/8 + 1e-4
+			factor := 0.0
+			if op >= 128 {
+				factor = a // degraded, not stalled
+			}
+			plan.Episodes = append(plan.Episodes, faults.Episode{Start: start, Duration: dur, Factor: factor})
+			epCursor = start + dur
+		case 1:
+			at := outCursor + a*horizon/4
+			dur := b*horizon/10 + 1e-4
+			plan.Outages = append(plan.Outages, faults.Outage{At: at, Duration: dur})
+			outCursor = at + dur
+		case 2:
+			plan.PLoss = a / 4
+			plan.PCorrupt = b / 8
+		}
+	}
+	return plan
+}
+
+// FuzzFaultSchedule feeds arbitrary fault schedules to a scheduler chosen
+// by the input and asserts the chaos invariants: no panic, exact packet
+// accounting, and deterministic replay. The seed corpus in
+// testdata/fuzz/FuzzFaultSchedule covers each op kind and a combined
+// schedule.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add([]byte{0, 100, 50})                            // one stall episode
+	f.Add([]byte{1, 10, 200, 1, 30, 40})                 // two outages
+	f.Add([]byte{2, 255, 255})                           // heavy loss
+	f.Add([]byte{128, 128, 64, 1, 0, 255, 2, 40, 80})    // degradation + outage + loss
+	f.Add([]byte{0, 0, 255, 0, 0, 255, 0, 0, 255, 3, 3}) // back-to-back stalls
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		all := suts()
+		s := all[int(data[0])%len(all)]
+		rng := rand.New(rand.NewSource(int64(len(data)) * 7919))
+		kind := s.kinds[int(data[0])%len(s.kinds)]
+		w := Random(rng, kind, 6)
+		plan := planFromBytes(data[1:], chaosHorizon(w))
+		run := func() (string, error) {
+			res, err := ChaosRun(s.make(w), w, plan)
+			if err != nil {
+				return "", err
+			}
+			if err := CheckChaosConservation(res, w); err != nil {
+				return "", err
+			}
+			return res.Digest(w), nil
+		}
+		d1, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		d2, err := run()
+		if err != nil {
+			t.Fatalf("%s (replay): %v", s.name, err)
+		}
+		if d1 != d2 {
+			t.Fatalf("%s: replay diverged", s.name)
+		}
+	})
+}

@@ -76,5 +76,6 @@ func All(scale float64, seed int64) []*Result {
 		AblationTieBreak(seed),
 		AblationWFQClock(seed),
 		AblationHierarchyOverhead(seed),
+		FaultContrast(seed),
 	}
 }

@@ -45,6 +45,27 @@ func TestFig2bRatioAcrossSeeds(t *testing.T) {
 	}
 }
 
+func TestFaultContrastAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := FaultContrast(seed)
+		// SFQ must hold Theorem 1 under the brownout; WFQ (fluid reference
+		// at the assumed capacity) must measurably violate the same bound.
+		if r.Got["H_SFQ"] > r.Got["bound"]*(1+1e-9) {
+			t.Errorf("seed %d: SFQ H = %v exceeds bound %v under brownout",
+				seed, r.Got["H_SFQ"], r.Got["bound"])
+		}
+		if r.Got["H_WFQ"] <= 2*r.Got["bound"] {
+			t.Errorf("seed %d: WFQ H = %v should measurably violate bound %v",
+				seed, r.Got["H_WFQ"], r.Got["bound"])
+		}
+		// The seeded flapping schedule must never break SFQ's bound.
+		if r.Got["flap_H_SFQ"] > r.Got["flap_bound"]*(1+1e-9) {
+			t.Errorf("seed %d: SFQ H = %v exceeds bound %v under flapping",
+				seed, r.Got["flap_H_SFQ"], r.Got["flap_bound"])
+		}
+	}
+}
+
 func TestTheoremBoundsAcrossSeeds(t *testing.T) {
 	for seed := int64(1); seed <= 4; seed++ {
 		if r := Residual(seed); r.Got["violations"] != 0 {

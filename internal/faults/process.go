@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"math"
+
+	"repro/internal/server"
+)
+
+// Modulated degrades any server.Process over scripted episodes. The
+// composition is a time warp: the wrapped process runs on its own clock,
+// and that clock advances at rate Factor during an episode (rate 1
+// outside), so a factor-½ episode makes the inner server do everything at
+// half speed and a factor-0 episode freezes it entirely. This composes
+// with every existing capacity process — a constant-rate server gains
+// scripted brownouts, a Markov-modulated server gains stalls on top of its
+// own fluctuation — which is exactly the "server fluctuates beyond the
+// analyzed bounds" regime of the paper's robustness discussion: SFQ's
+// Theorem 1 makes no assumption about the server, WFQ's guarantees assume
+// the rate it simulates GPS at.
+type Modulated struct {
+	inner server.Process
+	eps   []Episode
+}
+
+// NewModulated wraps inner with the given episodes, which must be sorted,
+// non-overlapping, non-negative and finite in factor; only the last may
+// have infinite duration (a permanent terminal fault).
+func NewModulated(inner server.Process, eps []Episode) *Modulated {
+	if inner == nil {
+		panic("faults: NewModulated requires a process")
+	}
+	if !validEpisodes(eps) {
+		panic("faults: episodes must be sorted, non-overlapping, with positive durations and finite factors")
+	}
+	cp := append([]Episode(nil), eps...)
+	return &Modulated{inner: inner, eps: cp}
+}
+
+// warp maps real time t to the inner clock: episode overlap contributes
+// Factor seconds of inner time per real second, everything else 1:1.
+func (m *Modulated) warp(t float64) float64 {
+	w := t
+	for _, e := range m.eps {
+		if e.Start >= t {
+			break
+		}
+		overlap := math.Min(e.End(), t) - e.Start
+		w -= (1 - e.Factor) * overlap
+	}
+	return w
+}
+
+// unwarp returns the earliest real time at which the inner clock reaches
+// w, or server.Never when the clock plateaus forever before reaching it
+// (a terminal zero-factor episode).
+func (m *Modulated) unwarp(w float64) float64 {
+	rt, wt := 0.0, 0.0 // real time, inner (warped) time
+	for _, e := range m.eps {
+		// The 1:1 gap before the episode.
+		if w <= wt+(e.Start-rt) {
+			return rt + (w - wt)
+		}
+		wt += e.Start - rt
+		rt = e.Start
+		// Inside the episode.
+		if e.Factor > 0 {
+			if w <= wt+(e.End()-rt)*e.Factor {
+				return rt + (w-wt)/e.Factor
+			}
+		}
+		if math.IsInf(e.End(), 1) {
+			return server.Never // zero-factor forever: the clock never gets there
+		}
+		wt += (e.End() - rt) * e.Factor
+		rt = e.End()
+	}
+	return rt + (w - wt)
+}
+
+// Finish maps the start time onto the inner clock, asks the wrapped
+// process, and maps the answer back. A transmission that lands in a
+// terminal stall (of either the wrapper or the wrapped process) returns
+// server.Never.
+func (m *Modulated) Finish(t, bytes float64) float64 {
+	innerEnd := m.inner.Finish(m.warp(t), bytes)
+	if math.IsInf(innerEnd, 1) || math.IsNaN(innerEnd) {
+		return server.Never
+	}
+	end := m.unwarp(innerEnd)
+	if end < t {
+		return t // guard the warp/unwarp float round-trip against regression
+	}
+	return end
+}
+
+// MeanRate returns the wrapped process's mean rate: finite episodes are
+// transient and do not move the long-run average.
+func (m *Modulated) MeanRate() float64 { return m.inner.MeanRate() }

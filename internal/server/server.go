@@ -16,11 +16,18 @@ import (
 	"math/rand"
 )
 
+// Never is the finish time of a transmission that can never complete: the
+// capacity process has permanently stalled (its rate is zero from the
+// start time onward). Consumers of a Process must treat a Never result as
+// "the server is dead", not as a schedulable time.
+var Never = math.Inf(1)
+
 // Process models the service capacity of a link.
 type Process interface {
 	// Finish returns the completion time of a transmission of `bytes`
 	// bytes started at time t. Calls are made with non-decreasing t
-	// (transmissions do not overlap).
+	// (transmissions do not overlap). A process whose rate is zero from t
+	// onward returns Never: the transmission stalls forever.
 	Finish(t, bytes float64) float64
 
 	// MeanRate returns the long-run average service rate C (bytes/s).
@@ -74,7 +81,9 @@ func (s *ConstantRate) FC() FCParams { return FCParams{C: s.C, Delta: 0} }
 
 // Piecewise serves at rate Rates[i] during [Times[i], Times[i+1]); the last
 // rate extends forever. It reproduces scripted scenarios such as
-// Example 2's server (1 pkt/s in [0,1), C pkt/s afterwards).
+// Example 2's server (1 pkt/s in [0,1), C pkt/s afterwards). Zero- and
+// negative-rate segments are stalls: no work is done during them, and a
+// transmission that reaches a terminal stall finishes Never.
 type Piecewise struct {
 	Times []float64 // segment start times, ascending, Times[0] == 0
 	Rates []float64 // bytes/s, same length
@@ -88,6 +97,11 @@ func NewPiecewise(times, rates []float64) *Piecewise {
 	for i := 1; i < len(times); i++ {
 		if times[i] <= times[i-1] {
 			panic("server: piecewise times must ascend")
+		}
+	}
+	for _, r := range rates {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			panic("server: piecewise rates must be finite")
 		}
 	}
 	return &Piecewise{Times: times, Rates: rates}
@@ -117,7 +131,7 @@ func (s *Piecewise) Finish(t, bytes float64) float64 {
 			remaining -= (segEnd - now) * rate
 		}
 		if math.IsInf(segEnd, 1) {
-			panic("server: piecewise ends with zero rate; transmission never completes")
+			return Never // terminal stall: the transmission never completes
 		}
 		now = segEnd
 		i++
@@ -268,6 +282,11 @@ func NewMarkovModulated(rates []float64, meanHold float64, rng *rand.Rand) *Mark
 	if len(rates) == 0 || meanHold <= 0 {
 		panic("server: invalid Markov parameters")
 	}
+	for _, r := range rates {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			panic("server: Markov rates must be finite")
+		}
+	}
 	if rng == nil {
 		panic("server: MarkovModulated requires an explicit rng")
 	}
@@ -275,8 +294,20 @@ func NewMarkovModulated(rates []float64, meanHold float64, rng *rand.Rand) *Mark
 }
 
 // Finish integrates the modulated rate from t. Calls must have
-// non-decreasing t.
+// non-decreasing t. Zero/negative-rate states are stalls; if no state has
+// a positive rate the transmission can never complete and Finish returns
+// Never.
 func (s *MarkovModulated) Finish(t, bytes float64) float64 {
+	canServe := false
+	for _, r := range s.Rates {
+		if r > 0 {
+			canServe = true
+			break
+		}
+	}
+	if !canServe {
+		return Never
+	}
 	now := t
 	remaining := bytes
 	for s.switchAt <= now {

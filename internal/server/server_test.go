@@ -41,6 +41,47 @@ func TestPiecewise(t *testing.T) {
 	}
 }
 
+func TestPiecewiseStallSemantics(t *testing.T) {
+	// A mid-schedule zero-rate segment is a stall: no work in [1,3), the
+	// remainder is served when the rate resumes.
+	s := NewPiecewise([]float64{0, 1, 3}, []float64{10, 0, 10})
+	if got := s.Finish(0, 20); math.Abs(got-4) > 1e-12 {
+		t.Errorf("stall-spanning finish = %v, want 4 (10 B before the stall, 10 B after)", got)
+	}
+	// Starting inside the stall waits for the recovery.
+	if got := s.Finish(1.5, 5); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("finish from inside stall = %v, want 3.5", got)
+	}
+	// A negative-rate segment is also a stall, never negative progress.
+	neg := NewPiecewise([]float64{0, 1, 2}, []float64{10, -5, 10})
+	if got := neg.Finish(0, 20); math.Abs(got-3) > 1e-12 {
+		t.Errorf("negative-rate finish = %v, want 3", got)
+	}
+}
+
+func TestPiecewiseTerminalStallReturnsNever(t *testing.T) {
+	// A schedule ending at rate zero used to panic; it now reports the
+	// transmission as never completing.
+	s := NewPiecewise([]float64{0, 1}, []float64{10, 0})
+	if got := s.Finish(0, 100); !math.IsInf(got, 1) {
+		t.Errorf("terminal-stall finish = %v, want Never", got)
+	}
+	// Work that completes before the terminal stall still finishes.
+	if got := s.Finish(0, 5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("pre-stall finish = %v, want 0.5", got)
+	}
+	if got := s.Finish(2, 1); !math.IsInf(got, 1) {
+		t.Errorf("finish started inside terminal stall = %v, want Never", got)
+	}
+}
+
+func TestMarkovModulatedAllStalledReturnsNever(t *testing.T) {
+	s := NewMarkovModulated([]float64{0, 0}, 1, rand.New(rand.NewSource(1)))
+	if got := s.Finish(0, 10); !math.IsInf(got, 1) {
+		t.Errorf("all-zero Markov finish = %v, want Never", got)
+	}
+}
+
 func TestPiecewiseValidation(t *testing.T) {
 	for _, bad := range []func(){
 		func() { NewPiecewise(nil, nil) },

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestPerFlowBufferIsolation(t *testing.T) {
 	link := sim.NewLink(q, "l", s, server.NewConstantRate(100), sink)
 	link.FlowBufferBytes = map[int]float64{1: 200, 2: 200}
 	dropsByFlow := map[int]int{}
-	link.OnDrop = func(f *sim.Frame) { dropsByFlow[f.Flow]++ }
+	link.OnDrop = func(f *sim.Frame, _ sim.DropCause) { dropsByFlow[f.Flow]++ }
 
 	q.At(0, func() {
 		// Flow 1 floods: 10 packets of 100 B; one goes into service, two
@@ -130,6 +131,195 @@ func TestFlowChurnMidRun(t *testing.T) {
 	}
 	if link.QueuedBytes() != 0 {
 		t.Errorf("residual queued bytes %v", link.QueuedBytes())
+	}
+}
+
+// TestLinkFailRecover: an outage loses exactly the in-flight frame,
+// queued frames survive and are transmitted after recovery, and the
+// scheduler's virtual-time state carries across the outage.
+func TestLinkFailRecover(t *testing.T) {
+	q := &eventq.Queue{}
+	s := core.New()
+	if err := s.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sink := sim.NewSink(q)
+	link := sim.NewLink(q, "l", s, server.NewConstantRate(100), sink)
+
+	q.At(0, func() {
+		for i := 0; i < 4; i++ {
+			link.Deliver(&sim.Frame{Flow: 1, Bytes: 100}) // 1 s each
+		}
+	})
+	// Fail mid-transmission of the second frame (t = 1.5); recover at 3.
+	q.At(1.5, link.Fail)
+	q.At(3, link.Recover)
+	q.Run()
+
+	if got := link.DropsFor(sim.DropLinkDown); got != 1 {
+		t.Errorf("link-down drops = %d, want 1 (the in-flight frame)", got)
+	}
+	if sink.Count(1) != 3 {
+		t.Errorf("delivered = %d, want 3 (frames 1, 3, 4)", sink.Count(1))
+	}
+	// Frame 3 starts at recovery (t=3) and takes 1 s, frame 4 follows.
+	if now := q.Now(); math.Abs(now-5) > 1e-9 {
+		t.Errorf("last completion at %v, want 5", now)
+	}
+	if link.QueuedBytes() != 0 || link.QueuedFrames() != 0 {
+		t.Errorf("residual queue: %v bytes, %d frames", link.QueuedBytes(), link.QueuedFrames())
+	}
+	if link.Down() {
+		t.Error("link still reports down after Recover")
+	}
+}
+
+// TestLinkFailWhileIdleAndDoubleTransitions: Fail/Recover are idempotent
+// and an idle-link outage loses nothing; arrivals during the outage queue
+// and are served on recovery.
+func TestLinkFailWhileIdleAndDoubleTransitions(t *testing.T) {
+	q := &eventq.Queue{}
+	s := core.New()
+	if err := s.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sink := sim.NewSink(q)
+	link := sim.NewLink(q, "l", s, server.NewConstantRate(100), sink)
+
+	q.At(0, link.Fail)
+	q.At(0, link.Fail) // double fail: no-op
+	q.At(1, func() { link.Deliver(&sim.Frame{Flow: 1, Bytes: 100}) })
+	q.At(2, link.Recover)
+	q.At(2, link.Recover) // double recover: no-op
+	q.Run()
+
+	if link.Drops() != 0 {
+		t.Errorf("drops = %d, want 0", link.Drops())
+	}
+	if sink.Count(1) != 1 {
+		t.Errorf("delivered = %d, want 1", sink.Count(1))
+	}
+	if now := q.Now(); math.Abs(now-3) > 1e-9 {
+		t.Errorf("completion at %v, want 3 (recovery + 1 s)", now)
+	}
+}
+
+// TestLinkPermanentStallDrainsAsDrops: a capacity process that dies
+// permanently (terminal zero rate) must not wedge the simulation — every
+// unservable frame becomes a counted DropStalled.
+func TestLinkPermanentStallDrainsAsDrops(t *testing.T) {
+	q := &eventq.Queue{}
+	s := core.New()
+	if err := s.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sink := sim.NewSink(q)
+	// 100 B/s for one second, then dead forever.
+	link := sim.NewLink(q, "l", s, server.NewPiecewise(
+		[]float64{0, 1}, []float64{100, 0}), sink)
+	q.At(0, func() {
+		for i := 0; i < 3; i++ {
+			link.Deliver(&sim.Frame{Flow: 1, Bytes: 100})
+		}
+	})
+	q.Run()
+	if sink.Count(1) != 1 {
+		t.Errorf("delivered = %d, want 1 (only the pre-stall frame)", sink.Count(1))
+	}
+	if got := link.DropsFor(sim.DropStalled); got != 2 {
+		t.Errorf("stalled drops = %d, want 2", got)
+	}
+	if link.QueuedFrames() != 0 {
+		t.Errorf("%d frames wedged in queue", link.QueuedFrames())
+	}
+}
+
+// TestPerFlowQueuedBytesExact: QueuedBytes is built from per-flow
+// counters that reset to exact zero as each flow drains, so emptiness
+// checks cannot be defeated by float residue even while other flows stay
+// backlogged (the old implementation only reset on a fully empty link).
+func TestPerFlowQueuedBytesExact(t *testing.T) {
+	q := &eventq.Queue{}
+	s := core.New()
+	for f := 1; f <= 2; f++ {
+		if err := s.AddFlow(f, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := sim.NewSink(q)
+	link := sim.NewLink(q, "l", s, server.NewConstantRate(1000), sink)
+	// Sizes chosen to accumulate binary-fraction residue (0.1 + 0.2 != 0.3).
+	q.At(0, func() {
+		link.Deliver(&sim.Frame{Flow: 1, Bytes: 0.1})
+		link.Deliver(&sim.Frame{Flow: 1, Bytes: 0.2})
+		link.Deliver(&sim.Frame{Flow: 1, Bytes: 0.3})
+		for i := 0; i < 50; i++ {
+			link.Deliver(&sim.Frame{Flow: 2, Bytes: 33.34})
+		}
+	})
+	// After 0.05 s flow 1 (0.6 B total) has fully drained — its three tiny
+	// packets interleave with at most one 33.34 B flow-2 packet — while
+	// flow 2 remains backlogged.
+	q.RunUntil(0.05)
+	if got := link.FlowQueuedBytes(1); got != 0 {
+		t.Errorf("flow 1 queued = %v after drain, want exact 0", got)
+	}
+	if link.FlowQueuedBytes(2) == 0 {
+		t.Error("flow 2 should still be backlogged")
+	}
+	q.Run()
+	if got := link.QueuedBytes(); got != 0 {
+		t.Errorf("link queued = %v after full drain, want exact 0", got)
+	}
+}
+
+// TestForgetFlowBoundsState: removing a flow and telling the link to
+// forget it releases the per-flow sequence/queue counters; a busy flow is
+// not forgotten.
+func TestForgetFlowBoundsState(t *testing.T) {
+	q := &eventq.Queue{}
+	s := core.New()
+	sink := sim.NewSink(q)
+	link := sim.NewLink(q, "l", s, server.NewConstantRate(1000), sink)
+	for f := 1; f <= 100; f++ {
+		f := f
+		if err := s.AddFlow(f, 1); err != nil {
+			t.Fatal(err)
+		}
+		q.At(0, func() { link.Deliver(&sim.Frame{Flow: f, Bytes: 10}) })
+	}
+	q.At(0.0001, func() {
+		// Flow 1 may be mid-service but its queue entry is gone; a flow
+		// with queued frames must be refused.
+		if link.FlowQueuedBytes(2) == 0 {
+			t.Error("expected flow 2 still queued this early")
+		}
+		link.ForgetFlow(2) // still queued: must be a no-op
+		if link.FlowQueuedBytes(2) == 0 {
+			t.Error("ForgetFlow dropped a backlogged flow's accounting")
+		}
+	})
+	q.Run()
+	for f := 1; f <= 100; f++ {
+		if err := s.RemoveFlow(f); err != nil {
+			t.Fatal(err)
+		}
+		link.ForgetFlow(f)
+	}
+	// Deliver on a forgotten flow: scheduler rejects, counted drop, and the
+	// seq chain restarts cleanly if the flow is re-added.
+	q.At(q.Now()+1, func() { link.Deliver(&sim.Frame{Flow: 1, Bytes: 10}) })
+	q.Run()
+	if got := link.DropsFor(sim.DropEnqueueRejected); got != 1 {
+		t.Errorf("drop after removal = %d, want 1", got)
+	}
+	if err := s.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	q.At(q.Now()+1, func() { link.Deliver(&sim.Frame{Flow: 1, Bytes: 10}) })
+	q.Run()
+	if sink.Count(1) != 2 {
+		t.Errorf("flow 1 delivered %d, want 2 (one before churn, one after re-add)", sink.Count(1))
 	}
 }
 

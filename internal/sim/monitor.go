@@ -59,7 +59,7 @@ func Attach(l *Link) *Monitor {
 		served:      make(map[int]float64),
 		curve:       make(map[int]*stats.TimeSeries),
 	}
-	prevEnq, prevDep := l.OnEnqueue, l.OnDepart
+	prevEnq, prevDep, prevDrop := l.OnEnqueue, l.OnDepart, l.OnDrop
 	l.OnEnqueue = func(f *Frame, now float64) {
 		m.onEnqueue(f, now)
 		if prevEnq != nil {
@@ -72,7 +72,29 @@ func Attach(l *Link) *Monitor {
 			prevDep(f, start, end)
 		}
 	}
+	l.OnDrop = func(f *Frame, cause DropCause) {
+		m.onDrop(f)
+		if prevDrop != nil {
+			prevDrop(f, cause)
+		}
+	}
 	return m
+}
+
+// onDrop keeps the backlog bookkeeping consistent when a frame that was
+// already enqueued is dropped later (link failure, permanent stall).
+// Buffer-full and enqueue-rejected drops never entered the queue — those
+// frames are absent from the arrival map and are ignored here.
+func (m *Monitor) onDrop(f *Frame) {
+	if _, ok := m.arrival[f]; !ok {
+		return
+	}
+	delete(m.arrival, f)
+	m.outstanding[f.Flow]--
+	if m.outstanding[f.Flow] == 0 {
+		m.intervals[f.Flow] = append(m.intervals[f.Flow],
+			Interval{Start: m.openedAt[f.Flow], End: m.link.q.Now()})
+	}
 }
 
 func (m *Monitor) onEnqueue(f *Frame, now float64) {

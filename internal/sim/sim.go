@@ -9,11 +9,36 @@
 package sim
 
 import (
-	"fmt"
+	"math"
 
 	"repro/internal/eventq"
 	"repro/internal/sched"
 	"repro/internal/server"
+)
+
+// DropCause tags why a frame was dropped. Links, the topo demux, and the
+// fault injectors all account their drops under causes of this type so a
+// run's losses can be audited end to end.
+type DropCause string
+
+// Drop causes recorded by Link itself. The faults and topo packages define
+// additional causes (random loss, corruption, link outage scripts,
+// unroutable frames) of the same type.
+const (
+	// DropBufferFull: the arrival would overflow the shared buffer.
+	DropBufferFull DropCause = "buffer-full"
+	// DropFlowBuffer: the arrival would overflow its flow's buffer.
+	DropFlowBuffer DropCause = "flow-buffer-full"
+	// DropEnqueueRejected: the scheduler refused the packet (unknown or
+	// removed flow, malformed length, time regression). Previously a panic;
+	// a production switch must degrade, not crash, when a frame of a
+	// just-removed flow is still in flight.
+	DropEnqueueRejected DropCause = "enqueue-rejected"
+	// DropLinkDown: the frame was in transmission when the link failed.
+	DropLinkDown DropCause = "link-down"
+	// DropStalled: the capacity process reported the transmission can
+	// never complete (server.Never).
+	DropStalled DropCause = "stalled"
 )
 
 // Kind distinguishes frame types on the wire.
@@ -74,8 +99,8 @@ type Link struct {
 	// queues of an output-queued switch.
 	FlowBufferBytes map[int]float64
 
-	// DropTail called on every drop (may be nil).
-	OnDrop func(f *Frame)
+	// OnDrop is called on every drop with its cause (may be nil).
+	OnDrop func(f *Frame, cause DropCause)
 
 	// Hooks for measurement (may be nil). OnDepart fires when a frame
 	// finishes transmission (before propagation).
@@ -83,10 +108,17 @@ type Link struct {
 	OnDepart  func(f *Frame, startTx, endTx float64)
 
 	busy        bool
-	queuedBytes float64
+	down        bool
+	epoch       uint64 // bumped by Fail; cancels in-flight completions
+	inflight    *Frame
 	drops       int64
+	dropsCause  map[DropCause]int64
+	dropsFlow   map[int]int64
 	delivered   int64
 	seq         map[int]int64
+	flowQBytes  map[int]float64 // queued bytes per flow (excluding in service)
+	flowQCount  map[int]int     // queued frames per flow
+	queuedTotal int             // queued frames across flows
 }
 
 // NewLink wires a link into the event queue q. sch decides order, proc
@@ -95,7 +127,14 @@ func NewLink(q *eventq.Queue, name string, sch sched.Interface, proc server.Proc
 	if q == nil || sch == nil || proc == nil || out == nil {
 		panic("sim: NewLink requires all of queue, scheduler, process, consumer")
 	}
-	return &Link{Name: name, q: q, sched: sch, proc: proc, out: out, seq: make(map[int]int64)}
+	return &Link{
+		Name: name, q: q, sched: sch, proc: proc, out: out,
+		seq:        make(map[int]int64),
+		dropsCause: make(map[DropCause]int64),
+		dropsFlow:  make(map[int]int64),
+		flowQBytes: make(map[int]float64),
+		flowQCount: make(map[int]int),
+	}
 }
 
 // Scheduler returns the link's scheduler (for flow registration).
@@ -104,75 +143,184 @@ func (l *Link) Scheduler() sched.Interface { return l.sched }
 // Drops returns the number of dropped frames.
 func (l *Link) Drops() int64 { return l.drops }
 
+// DropsByCause returns a copy of the per-cause drop counters.
+func (l *Link) DropsByCause() map[DropCause]int64 {
+	out := make(map[DropCause]int64, len(l.dropsCause))
+	for c, n := range l.dropsCause {
+		out[c] = n
+	}
+	return out
+}
+
+// DropsFor returns the drops recorded under one cause.
+func (l *Link) DropsFor(cause DropCause) int64 { return l.dropsCause[cause] }
+
+// DropsByFlow returns the drops charged to one flow (all causes).
+func (l *Link) DropsByFlow(flow int) int64 { return l.dropsFlow[flow] }
+
 // Delivered returns the number of frames fully transmitted.
 func (l *Link) Delivered() int64 { return l.delivered }
 
 // QueuedBytes returns the bytes currently queued (excluding in service).
-func (l *Link) QueuedBytes() float64 { return l.queuedBytes }
+// It sums exact per-flow counters, so it is exactly zero whenever every
+// flow's queue is empty (no float residue).
+func (l *Link) QueuedBytes() float64 {
+	sum := 0.0
+	for _, b := range l.flowQBytes {
+		sum += b
+	}
+	return sum
+}
 
-// Deliver enqueues f for transmission, dropping it if the shared buffer
-// or its flow's buffer is full.
+// FlowQueuedBytes returns the bytes of flow queued at this link.
+func (l *Link) FlowQueuedBytes(flow int) float64 { return l.flowQBytes[flow] }
+
+// QueuedFrames returns the number of frames queued (excluding in service).
+func (l *Link) QueuedFrames() int { return l.queuedTotal }
+
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool { return l.down }
+
+// drop accounts one dropped frame under cause.
+func (l *Link) drop(f *Frame, cause DropCause) {
+	l.drops++
+	l.dropsCause[cause]++
+	l.dropsFlow[f.Flow]++
+	if l.OnDrop != nil {
+		l.OnDrop(f, cause)
+	}
+}
+
+// Deliver enqueues f for transmission, dropping it (with a counted cause)
+// if a buffer is full or the scheduler rejects it. Arrivals during a link
+// failure queue normally and wait for recovery.
 func (l *Link) Deliver(f *Frame) {
 	now := l.q.Now()
-	full := l.BufferBytes > 0 && l.queuedBytes+f.Bytes > l.BufferBytes
-	if limit, ok := l.FlowBufferBytes[f.Flow]; ok && !full {
-		full = l.sched.QueuedBytes(f.Flow)+f.Bytes > limit
-	}
-	if full {
-		l.drops++
-		if l.OnDrop != nil {
-			l.OnDrop(f)
-		}
+	if l.BufferBytes > 0 && l.QueuedBytes()+f.Bytes > l.BufferBytes {
+		l.drop(f, DropBufferFull)
 		return
 	}
-	l.seq[f.Flow]++
+	if limit, ok := l.FlowBufferBytes[f.Flow]; ok {
+		if l.sched.QueuedBytes(f.Flow)+f.Bytes > limit {
+			l.drop(f, DropFlowBuffer)
+			return
+		}
+	}
 	p := &sched.Packet{
 		Flow:    f.Flow,
-		Seq:     l.seq[f.Flow],
+		Seq:     l.seq[f.Flow] + 1,
 		Length:  f.Bytes,
 		Arrival: now,
 		Rate:    f.Rate,
 		Payload: f,
 	}
 	if err := l.sched.Enqueue(now, p); err != nil {
-		panic(fmt.Sprintf("sim: link %s enqueue: %v", l.Name, err))
+		l.drop(f, DropEnqueueRejected)
+		return
 	}
-	l.queuedBytes += f.Bytes
+	l.seq[f.Flow]++
+	l.flowQBytes[f.Flow] += f.Bytes
+	l.flowQCount[f.Flow]++
+	l.queuedTotal++
 	if l.OnEnqueue != nil {
 		l.OnEnqueue(f, now)
 	}
+	if !l.busy && !l.down {
+		l.startNext()
+	}
+}
+
+// Fail takes the link down. The frame in transmission (if any) is lost and
+// counted as a DropLinkDown; queued frames stay queued behind the dead
+// link. Calling Fail on a down link is a no-op.
+func (l *Link) Fail() {
+	if l.down {
+		return
+	}
+	l.down = true
+	l.epoch++ // cancels the pending completion event, if any
+	if l.busy {
+		l.busy = false
+		f := l.inflight
+		l.inflight = nil
+		l.drop(f, DropLinkDown)
+	}
+}
+
+// Recover brings a failed link back up and resumes transmission from the
+// scheduler's current head. The scheduler's state (virtual time, tag
+// chains) was untouched by the outage, so scheduling resumes exactly where
+// it left off. Calling Recover on an up link is a no-op.
+func (l *Link) Recover() {
+	if !l.down {
+		return
+	}
+	l.down = false
 	if !l.busy {
 		l.startNext()
 	}
 }
 
+// ForgetFlow discards the link's per-flow bookkeeping (sequence counter,
+// queue counters, drop counters) for a removed flow, bounding map growth
+// under flow churn. The flow must have no frames queued at this link.
+func (l *Link) ForgetFlow(flow int) {
+	if l.flowQCount[flow] > 0 {
+		return // still backlogged: keep the counters consistent
+	}
+	delete(l.seq, flow)
+	delete(l.flowQBytes, flow)
+	delete(l.flowQCount, flow)
+	delete(l.dropsFlow, flow)
+}
+
 // startNext begins transmitting the scheduler's next packet, if any.
+// Packets whose transmission can never complete (a permanently stalled
+// capacity process) are dropped with cause DropStalled and the next packet
+// is tried, so a dead server drains its queue as counted drops instead of
+// wedging the simulation.
 func (l *Link) startNext() {
-	now := l.q.Now()
-	p, ok := l.sched.Dequeue(now)
-	if !ok {
-		l.busy = false
+	for {
+		now := l.q.Now()
+		p, ok := l.sched.Dequeue(now)
+		if !ok {
+			l.busy = false
+			return
+		}
+		f := p.Payload.(*Frame)
+		l.flowQBytes[p.Flow] -= p.Length
+		l.flowQCount[p.Flow]--
+		l.queuedTotal--
+		if l.flowQCount[p.Flow] == 0 {
+			l.flowQBytes[p.Flow] = 0 // exact zero: empty queues hold no bytes
+		}
+		end := l.proc.Finish(now, p.Length)
+		if math.IsInf(end, 1) || math.IsNaN(end) {
+			l.busy = false
+			l.drop(f, DropStalled)
+			continue
+		}
+		l.busy = true
+		l.inflight = f
+		epoch := l.epoch
+		l.q.At(end, func() {
+			if epoch != l.epoch {
+				return // the link failed mid-transmission; frame already dropped
+			}
+			l.inflight = nil
+			l.delivered++
+			if l.OnDepart != nil {
+				l.OnDepart(f, now, end)
+			}
+			if l.PropDelay > 0 {
+				l.q.After(l.PropDelay, func() { l.out.Deliver(f) })
+			} else {
+				l.out.Deliver(f)
+			}
+			l.startNext()
+		})
 		return
 	}
-	l.busy = true
-	l.queuedBytes -= p.Length
-	if l.sched.Len() == 0 {
-		l.queuedBytes = 0 // exact zero; float residue breaks emptiness checks
-	}
-	f := p.Payload.(*Frame)
-	end := l.proc.Finish(now, p.Length)
-	l.q.At(end, func() {
-		l.delivered++
-		if l.OnDepart != nil {
-			l.OnDepart(f, now, end)
-		}
-		if l.PropDelay > 0 {
-			l.q.After(l.PropDelay, func() { l.out.Deliver(f) })
-		} else {
-			l.out.Deliver(f)
-		}
-		l.startNext()
-	})
 }
 
 // Sink counts and timestamps received frames per flow.

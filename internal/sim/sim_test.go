@@ -71,7 +71,7 @@ func TestLinkBufferDrops(t *testing.T) {
 	q, link, sink := newTestLink(t, 100)
 	link.BufferBytes = 150
 	var dropped []int64
-	link.OnDrop = func(f *sim.Frame) { dropped = append(dropped, f.Seq) }
+	link.OnDrop = func(f *sim.Frame, _ sim.DropCause) { dropped = append(dropped, f.Seq) }
 	q.At(0, func() {
 		// First frame goes straight into service (not counted against
 		// the buffer); the next two queue (100+50); the fourth exceeds
@@ -147,15 +147,22 @@ func TestLinkValidation(t *testing.T) {
 	sim.NewLink(&eventq.Queue{}, "x", sched.NewFIFO(), server.NewConstantRate(1), nil)
 }
 
-func TestLinkUnknownFlowPanics(t *testing.T) {
+func TestLinkUnknownFlowDropsCounted(t *testing.T) {
+	// A frame whose flow the scheduler rejects (unregistered, or removed
+	// with the frame still in flight) must degrade to a counted drop —
+	// never a crash.
 	q, link, _ := newTestLink(t, 100)
-	defer func() {
-		if recover() == nil {
-			t.Error("delivering an unregistered flow should panic (wiring bug)")
-		}
-	}()
 	q.At(0, func() { link.Deliver(&sim.Frame{Flow: 42, Bytes: 10}) })
 	q.Run()
+	if link.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", link.Drops())
+	}
+	if got := link.DropsFor(sim.DropEnqueueRejected); got != 1 {
+		t.Errorf("enqueue-rejected drops = %d, want 1", got)
+	}
+	if got := link.DropsByFlow(42); got != 1 {
+		t.Errorf("flow 42 drops = %d, want 1", got)
+	}
 }
 
 func TestMonitorUtilization(t *testing.T) {

@@ -5,6 +5,12 @@
 // multi-hop experiments otherwise need and guarantees that a frame
 // entering a route traverses exactly the declared links, exiting into the
 // flow's sink.
+//
+// Flows may also be added and removed while the simulation runs
+// (AddFlow/RemoveFlow), which is how the fault-injection chaos tests
+// exercise flow churn. A frame that reaches a switch after its flow's
+// route was torn down is not a crash: it is dropped and counted under
+// DropNoRoute, per flow.
 package topo
 
 import (
@@ -16,6 +22,11 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 )
+
+// DropNoRoute tags frames that arrived at a switch with no next hop for
+// their flow (the flow was removed while frames were still in flight, or
+// was never routed). Previously a panic.
+const DropNoRoute sim.DropCause = "no-route"
 
 // LinkSpec declares one unidirectional link.
 type LinkSpec struct {
@@ -37,53 +48,69 @@ type FlowSpec struct {
 	Sink   sim.Consumer
 }
 
-// Network is a compiled topology.
-type Network struct {
-	Q     *eventq.Queue
-	links map[string]*sim.Link
-	mons  map[string]*sim.Monitor
-	entry map[int]sim.Consumer
-	sinks map[int]*sim.Sink
-	flows map[int]FlowSpec
+// demux routes frames leaving a link to the next hop of their flow.
+type demux struct {
+	n    *Network
+	next map[int]sim.Consumer
 }
 
-// Errors returned by Build.
+// Network is a compiled topology.
+type Network struct {
+	Q       *eventq.Queue
+	links   map[string]*sim.Link
+	specs   map[string]LinkSpec
+	demuxes map[string]*demux
+	mons    map[string]*sim.Monitor
+	entry   map[int]sim.Consumer
+	sinks   map[int]*sim.Sink
+	flows   map[int]FlowSpec
+
+	noRouteFlow  map[int]int64
+	noRouteTotal int64
+}
+
+// Errors returned by Build, AddFlow, and RemoveFlow.
 var (
 	ErrDuplicateLink = errors.New("topo: duplicate link name")
 	ErrUnknownLink   = errors.New("topo: route references unknown link")
 	ErrBadRoute      = errors.New("topo: route links are not contiguous")
 	ErrDuplicateFlow = errors.New("topo: duplicate flow id")
+	ErrUnknownFlow   = errors.New("topo: unknown flow")
+	ErrFlowBusy      = errors.New("topo: flow has queued frames")
 )
 
 // Build compiles the topology. Routes must be contiguous (each link's To
 // equals the next link's From).
 func Build(q *eventq.Queue, links []LinkSpec, flows []FlowSpec) (*Network, error) {
 	n := &Network{
-		Q:     q,
-		links: make(map[string]*sim.Link),
-		mons:  make(map[string]*sim.Monitor),
-		entry: make(map[int]sim.Consumer),
-		sinks: make(map[int]*sim.Sink),
-		flows: make(map[int]FlowSpec),
+		Q:           q,
+		links:       make(map[string]*sim.Link),
+		specs:       make(map[string]LinkSpec),
+		demuxes:     make(map[string]*demux),
+		mons:        make(map[string]*sim.Monitor),
+		entry:       make(map[int]sim.Consumer),
+		sinks:       make(map[int]*sim.Sink),
+		flows:       make(map[int]FlowSpec),
+		noRouteFlow: make(map[int]int64),
 	}
 
 	// Each link's downstream consumer routes per flow: the next link on
 	// that flow's route, or its sink. Build links first with a demux
 	// consumer, then fill the per-flow next tables.
-	type demux struct {
-		next map[int]sim.Consumer
-	}
-	demuxes := make(map[string]*demux, len(links))
 	for _, ls := range links {
 		if _, dup := n.links[ls.Name]; dup {
 			return nil, fmt.Errorf("%w: %q", ErrDuplicateLink, ls.Name)
 		}
-		d := &demux{next: make(map[int]sim.Consumer)}
-		demuxes[ls.Name] = d
+		d := &demux{n: n, next: make(map[int]sim.Consumer)}
+		n.demuxes[ls.Name] = d
 		out := sim.ConsumerFunc(func(f *sim.Frame) {
 			nx, ok := d.next[f.Flow]
 			if !ok {
-				panic(fmt.Sprintf("topo: frame of flow %d has no next hop", f.Flow))
+				// The flow's route is gone (removed mid-flight) or was
+				// never wired: count the loss instead of crashing.
+				n.noRouteFlow[f.Flow]++
+				n.noRouteTotal++
+				return
 			}
 			nx.Deliver(f)
 		})
@@ -91,57 +118,93 @@ func Build(q *eventq.Queue, links []LinkSpec, flows []FlowSpec) (*Network, error
 		link.PropDelay = ls.PropDelay
 		link.BufferBytes = ls.Buffer
 		n.links[ls.Name] = link
+		n.specs[ls.Name] = ls
 		n.mons[ls.Name] = sim.Attach(link)
-	}
-	byName := make(map[string]LinkSpec, len(links))
-	for _, ls := range links {
-		byName[ls.Name] = ls
 	}
 
 	for _, fs := range flows {
-		if _, dup := n.flows[fs.Flow]; dup {
-			return nil, fmt.Errorf("%w: %d", ErrDuplicateFlow, fs.Flow)
+		if err := n.AddFlow(fs); err != nil {
+			return nil, err
 		}
-		if len(fs.Route) == 0 {
-			return nil, fmt.Errorf("topo: flow %d has an empty route", fs.Flow)
-		}
-		// Validate contiguity and register the flow on every hop.
-		for i, name := range fs.Route {
-			link, ok := n.links[name]
-			if !ok {
-				return nil, fmt.Errorf("%w: flow %d hop %q", ErrUnknownLink, fs.Flow, name)
-			}
-			if i > 0 {
-				prev := byName[fs.Route[i-1]]
-				cur := byName[name]
-				if prev.To != cur.From {
-					return nil, fmt.Errorf("%w: flow %d: %q ends at %q but %q starts at %q",
-						ErrBadRoute, fs.Flow, prev.Name, prev.To, cur.Name, cur.From)
-				}
-			}
-			if err := link.Scheduler().AddFlow(fs.Flow, fs.Weight); err != nil {
-				return nil, fmt.Errorf("topo: flow %d on %q: %w", fs.Flow, name, err)
-			}
-		}
-		// Wire the demux chain.
-		sink := fs.Sink
-		if sink == nil {
-			s := sim.NewSink(q)
-			n.sinks[fs.Flow] = s
-			sink = s
-		}
-		for i := len(fs.Route) - 1; i >= 0; i-- {
-			d := demuxes[fs.Route[i]]
-			if i == len(fs.Route)-1 {
-				d.next[fs.Flow] = sink
-			} else {
-				d.next[fs.Flow] = n.links[fs.Route[i+1]]
-			}
-		}
-		n.entry[fs.Flow] = n.links[fs.Route[0]]
-		n.flows[fs.Flow] = fs
 	}
 	return n, nil
+}
+
+// AddFlow registers a flow on a built (possibly running) network: it
+// validates the route, registers the weight on every hop, and wires the
+// demux chain ending at the flow's sink. Safe to call mid-simulation.
+func (n *Network) AddFlow(fs FlowSpec) error {
+	if _, dup := n.flows[fs.Flow]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateFlow, fs.Flow)
+	}
+	if len(fs.Route) == 0 {
+		return fmt.Errorf("topo: flow %d has an empty route", fs.Flow)
+	}
+	// Validate contiguity and register the flow on every hop.
+	for i, name := range fs.Route {
+		link, ok := n.links[name]
+		if !ok {
+			return fmt.Errorf("%w: flow %d hop %q", ErrUnknownLink, fs.Flow, name)
+		}
+		if i > 0 {
+			prev := n.specs[fs.Route[i-1]]
+			cur := n.specs[name]
+			if prev.To != cur.From {
+				return fmt.Errorf("%w: flow %d: %q ends at %q but %q starts at %q",
+					ErrBadRoute, fs.Flow, prev.Name, prev.To, cur.Name, cur.From)
+			}
+		}
+		if err := link.Scheduler().AddFlow(fs.Flow, fs.Weight); err != nil {
+			return fmt.Errorf("topo: flow %d on %q: %w", fs.Flow, name, err)
+		}
+	}
+	// Wire the demux chain.
+	sink := fs.Sink
+	if sink == nil {
+		s := sim.NewSink(n.Q)
+		n.sinks[fs.Flow] = s
+		sink = s
+	}
+	for i := len(fs.Route) - 1; i >= 0; i-- {
+		d := n.demuxes[fs.Route[i]]
+		if i == len(fs.Route)-1 {
+			d.next[fs.Flow] = sink
+		} else {
+			d.next[fs.Flow] = n.links[fs.Route[i+1]]
+		}
+	}
+	n.entry[fs.Flow] = n.links[fs.Route[0]]
+	n.flows[fs.Flow] = fs
+	return nil
+}
+
+// RemoveFlow tears a flow down mid-simulation: it unregisters the flow
+// from every hop's scheduler, releases the links' per-flow bookkeeping,
+// and unwires the demux chain. It refuses (ErrFlowBusy) while the flow has
+// frames queued at any hop. Frames already in flight between hops when the
+// route is torn down are counted as DropNoRoute at the demux, or as
+// enqueue-rejected drops at a downstream link — never a crash.
+func (n *Network) RemoveFlow(flow int) error {
+	fs, ok := n.flows[flow]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	for _, name := range fs.Route {
+		if n.links[name].Scheduler().QueuedBytes(flow) > 0 {
+			return fmt.Errorf("%w: flow %d at %q", ErrFlowBusy, flow, name)
+		}
+	}
+	for _, name := range fs.Route {
+		if err := n.links[name].Scheduler().RemoveFlow(flow); err != nil {
+			return fmt.Errorf("topo: flow %d on %q: %w", flow, name, err)
+		}
+		n.links[name].ForgetFlow(flow)
+		delete(n.demuxes[name].next, flow)
+	}
+	delete(n.entry, flow)
+	delete(n.sinks, flow)
+	delete(n.flows, flow)
+	return nil
 }
 
 // Entry returns the consumer a source should feed for the given flow (the
@@ -163,3 +226,31 @@ func (n *Network) Monitor(name string) *sim.Monitor { return n.mons[name] }
 // Sink returns the auto-created sink of a flow (nil if the flow supplied
 // its own).
 func (n *Network) Sink(flow int) *sim.Sink { return n.sinks[flow] }
+
+// NoRouteDrops returns the frames of flow dropped for lack of a next hop.
+func (n *Network) NoRouteDrops(flow int) int64 { return n.noRouteFlow[flow] }
+
+// Drops returns every drop in the network, by cause, aggregated over the
+// links plus the switch-level no-route drops.
+func (n *Network) Drops() map[sim.DropCause]int64 {
+	out := make(map[sim.DropCause]int64)
+	for _, l := range n.links {
+		for c, v := range l.DropsByCause() {
+			out[c] += v
+		}
+	}
+	if n.noRouteTotal > 0 {
+		out[DropNoRoute] = n.noRouteTotal
+	}
+	return out
+}
+
+// DropsByFlow returns every drop charged to flow across the network:
+// link-level drops on each hop plus no-route drops at the demuxes.
+func (n *Network) DropsByFlow(flow int) int64 {
+	total := n.noRouteFlow[flow]
+	for _, l := range n.links {
+		total += l.DropsByFlow(flow)
+	}
+	return total
+}
