@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/conformance"
 	"repro/internal/core"
+	"repro/internal/eventq"
 	"repro/internal/experiments"
 	"repro/internal/qos"
 	"repro/internal/sched"
@@ -150,16 +151,32 @@ func benchScheduler(b *testing.B, mk func() sched.Interface, nflows int) {
 			b.Fatal(err)
 		}
 	}
+	// Recycle packets exactly as a link would: only when the scheduler
+	// declares recycling safe. With the typed heaps this makes the whole
+	// enqueue/dequeue cycle allocation-free for the tag-based disciplines.
+	var pool sched.PacketPool
+	poolOK := sched.PoolSafeScheduler(s)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now += 1e-5
-		p := &sched.Packet{Flow: rng.Intn(nflows), Length: 100 + float64(rng.Intn(1400))}
+		var p *sched.Packet
+		if poolOK {
+			p = pool.Get()
+		} else {
+			p = &sched.Packet{}
+		}
+		p.Flow = rng.Intn(nflows)
+		p.Length = 100 + float64(rng.Intn(1400))
 		if err := s.Enqueue(now, p); err != nil {
 			b.Fatal(err)
 		}
-		if _, ok := s.Dequeue(now); !ok {
+		out, ok := s.Dequeue(now)
+		if !ok {
 			b.Fatal("scheduler ran dry")
+		}
+		if poolOK {
+			pool.Put(out)
 		}
 	}
 }
@@ -235,6 +252,46 @@ func BenchmarkGPSSimulation(b *testing.B) {
 		b.Run(fmt.Sprintf("Q=%d", q), func(b *testing.B) {
 			benchScheduler(b, func() sched.Interface { return sched.NewWFQ(1e6) }, q)
 		})
+	}
+}
+
+// BenchmarkEventQueue times the discrete-event core at steady queue depth:
+// each iteration schedules one event past the horizon and executes the
+// earliest one. The AtCall path plus the typed 4-ary heap make this
+// allocation-free.
+func BenchmarkEventQueue(b *testing.B) {
+	for _, depth := range []int{16, 4096} {
+		b.Run(fmt.Sprintf("Q=%d", depth), func(b *testing.B) {
+			var q eventq.Queue
+			tick := func(any) {}
+			horizon := float64(depth) * 1e-6
+			for i := 0; i < depth; i++ {
+				q.AtCall(float64(i)*1e-6, tick, nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.AtCall(q.Now()+horizon, tick, nil)
+				q.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkChaosMatrixShard times one cell of the chaos conformance matrix
+// — workload + fault-plan generation, the faulted run, the conservation
+// audit, and the digest. The parallel matrix runner shards exactly this
+// unit across workers, so cell cost × seeds ÷ GOMAXPROCS approximates the
+// matrix's wall-clock.
+func BenchmarkChaosMatrixShard(b *testing.B) {
+	kinds := []conformance.Kind{conformance.Bursty, conformance.Sporadic, conformance.OnOff, conformance.Greedy}
+	mk := func(conformance.Workload) sched.Interface { return core.New() }
+	for i := 0; i < b.N; i++ {
+		d, err := conformance.ChaosReplay(mk, kinds, 12, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink(b, float64(len(d)))
 	}
 }
 

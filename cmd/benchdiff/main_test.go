@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestCompare(t *testing.T) {
+	oldB := map[string]benchEntry{
+		"BenchmarkA":    {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkB":    {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkC":    {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkGone": {NsPerOp: 100},
+	}
+	newB := map[string]benchEntry{
+		"BenchmarkA":   {NsPerOp: 119, AllocsPerOp: 11}, // within 20% on both
+		"BenchmarkB":   {NsPerOp: 50, AllocsPerOp: 1},   // faster, but 0 -> 1 alloc regresses
+		"BenchmarkC":   {NsPerOp: 130, AllocsPerOp: 3},  // ns regression, alloc win
+		"BenchmarkNew": {NsPerOp: 1},
+	}
+	ds := compare(oldB, newB, 0.20)
+	if len(ds) != 3 {
+		t.Fatalf("compared %d benchmarks, want 3 (intersection only)", len(ds))
+	}
+	byName := map[string]delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkA"]; d.Regressed() {
+		t.Errorf("A within threshold flagged as regression: %+v", d)
+	}
+	if d := byName["BenchmarkB"]; !d.Regressed() || d.NsRegressed || !d.AllocsGrew {
+		t.Errorf("B must regress on allocs (0 -> 1) only: %+v", d)
+	}
+	if d := byName["BenchmarkC"]; !d.NsRegressed || d.AllocsGrew {
+		t.Errorf("C must regress on ns only: %+v", d)
+	}
+	// Names come back sorted so reports are stable.
+	if ds[0].Name != "BenchmarkA" || ds[2].Name != "BenchmarkC" {
+		t.Errorf("deltas not sorted: %v %v %v", ds[0].Name, ds[1].Name, ds[2].Name)
+	}
+}
+
+func TestCompareExactThreshold(t *testing.T) {
+	oldB := map[string]benchEntry{"B": {NsPerOp: 100, AllocsPerOp: 5}}
+	newB := map[string]benchEntry{"B": {NsPerOp: 120, AllocsPerOp: 6}}
+	if d := compare(oldB, newB, 0.20)[0]; d.Regressed() {
+		t.Errorf("exactly +20%% must not regress: %+v", d)
+	}
+}

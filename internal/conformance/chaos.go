@@ -146,6 +146,43 @@ func CheckChaosConservation(res *ChaosResult, w Workload) error {
 	return nil
 }
 
+// ChaosHorizon estimates the healthy-server duration of a workload so a
+// fault schedule can be drawn that lands inside the busy period.
+func ChaosHorizon(w Workload) float64 {
+	total := 0.0
+	for _, a := range w.Arrivals {
+		total += a.Bytes
+	}
+	last := 0.0
+	for _, a := range w.Arrivals {
+		if a.At > last {
+			last = a.At
+		}
+	}
+	return last + 2*total/w.C
+}
+
+// ChaosReplay is one self-contained cell of the chaos matrix: it derives
+// the seed's workload (pkts packets per flow, kind chosen round-robin by
+// seed) and fault plan, runs mk's scheduler under them, audits
+// conservation, and returns the replay digest. A pure function of its
+// arguments, which is what lets RunMatrix shard seeds across workers and
+// the benchmarks time a representative cell.
+func ChaosReplay(mk func(Workload) sched.Interface, kinds []Kind, pkts int, seed int64) (string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	kind := kinds[int(seed)%len(kinds)]
+	w := Random(rng, kind, pkts)
+	plan := RandomFaultPlan(rng, ChaosHorizon(w))
+	res, err := ChaosRun(mk(w), w, plan)
+	if err != nil {
+		return "", err
+	}
+	if err := CheckChaosConservation(res, w); err != nil {
+		return "", err
+	}
+	return res.Digest(w), nil
+}
+
 // Digest summarizes a chaos run for deterministic-replay comparison: the
 // full dequeue sequence with timestamps, the per-cause drop counters of
 // link and lossy shim, and the per-flow sink totals. Two runs of the same

@@ -2,29 +2,12 @@ package conformance
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 )
 
 // chaosSeedsPerScheduler is the number of independent fault schedules
 // every scheduler must survive (each run twice, for replay comparison).
 const chaosSeedsPerScheduler = 200
-
-// chaosHorizon estimates the healthy-server duration of a workload so the
-// fault schedule lands inside the busy period.
-func chaosHorizon(w Workload) float64 {
-	total := 0.0
-	for _, a := range w.Arrivals {
-		total += a.Bytes
-	}
-	last := 0.0
-	for _, a := range w.Arrivals {
-		if a.At > last {
-			last = a.At
-		}
-	}
-	return last + 2*total/w.C
-}
 
 // chaosOne builds the seed's workload and fault plan, runs the scheduler
 // under it, audits conservation, and returns the replay digest. Panics
@@ -36,45 +19,41 @@ func chaosOne(s sut, seed int64) (digest string, err error) {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	rng := rand.New(rand.NewSource(seed))
-	kind := s.kinds[int(seed)%len(s.kinds)]
-	w := Random(rng, kind, pktsPerFlow)
-	plan := RandomFaultPlan(rng, chaosHorizon(w))
-	res, err := ChaosRun(s.make(w), w, plan)
-	if err != nil {
-		return "", err
-	}
-	if err := CheckChaosConservation(res, w); err != nil {
-		return "", err
-	}
-	return res.Digest(w), nil
+	return ChaosReplay(s.make, s.kinds, pktsPerFlow, seed)
 }
 
 // TestChaosMatrix is the fault-injection conformance matrix: every
 // scheduler must survive chaosSeedsPerScheduler seeded fault schedules
 // (server degradation, link outages, random loss — often combined) with
-// zero panics, exact packet accounting, and bit-identical replay.
+// zero panics, exact packet accounting, and bit-identical replay. Seeds
+// are sharded across a GOMAXPROCS worker pool; because each seed is a pure
+// function of its number and results aggregate in seed order, the report
+// is identical to the serial loop's.
 func TestChaosMatrix(t *testing.T) {
 	for _, s := range suts() {
 		s := s
 		t.Run(s.name, func(t *testing.T) {
 			t.Parallel()
-			n := int64(chaosSeedsPerScheduler)
+			n := chaosSeedsPerScheduler
 			if testing.Short() {
 				n = 50
 			}
-			for seed := int64(0); seed < n; seed++ {
+			errs := RunMatrix(n, 0, func(seed int64) error {
 				d1, err := chaosOne(s, seed)
 				if err != nil {
-					t.Fatalf("seed %d: %v", seed, err)
+					return err
 				}
 				d2, err := chaosOne(s, seed)
 				if err != nil {
-					t.Fatalf("seed %d (replay): %v", seed, err)
+					return fmt.Errorf("replay: %v", err)
 				}
 				if d1 != d2 {
-					t.Fatalf("seed %d: replay diverged from first run", seed)
+					return fmt.Errorf("replay diverged from first run")
 				}
+				return nil
+			})
+			if seed, err := FirstFailure(errs); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
 			}
 		})
 	}

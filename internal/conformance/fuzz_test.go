@@ -60,7 +60,7 @@ func FuzzFaultSchedule(f *testing.F) {
 		rng := rand.New(rand.NewSource(int64(len(data)) * 7919))
 		kind := s.kinds[int(data[0])%len(s.kinds)]
 		w := Random(rng, kind, 6)
-		plan := planFromBytes(data[1:], chaosHorizon(w))
+		plan := planFromBytes(data[1:], ChaosHorizon(w))
 		run := func() (string, error) {
 			res, err := ChaosRun(s.make(w), w, plan)
 			if err != nil {

@@ -280,19 +280,21 @@ func compareWithRef(w Workload, tr *Trace, mon *sim.Monitor, exact bool) error {
 // TestConformanceMatrix is the main property suite: every scheduler must
 // survive seedsPerScheduler randomized workloads under its full checker
 // set (differential oracle + theorem-bound invariants + generic sanity).
+// Seeds are sharded across a GOMAXPROCS worker pool; each seed is a pure
+// function of its number and failures are scanned in seed order, so the
+// first reported failure is the one the serial loop would have hit.
 func TestConformanceMatrix(t *testing.T) {
 	for _, s := range suts() {
 		s := s
 		t.Run(s.name, func(t *testing.T) {
 			t.Parallel()
-			n := int64(seedsPerScheduler)
+			n := seedsPerScheduler
 			if testing.Short() {
 				n = 100
 			}
-			for seed := int64(0); seed < n; seed++ {
-				if err := runOne(s, seed); err != nil {
-					t.Fatalf("seed %d (kind %d): %v", seed, int(seed)%len(s.kinds), err)
-				}
+			errs := RunMatrix(n, 0, func(seed int64) error { return runOne(s, seed) })
+			if seed, err := FirstFailure(errs); err != nil {
+				t.Fatalf("seed %d (kind %d): %v", seed, int(seed)%len(s.kinds), err)
 			}
 		})
 	}

@@ -1,0 +1,82 @@
+package conformance
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunMatrix evaluates fn(seed) for every seed in [0, n) across a bounded
+// worker pool and returns the results indexed by seed. workers <= 0 means
+// GOMAXPROCS.
+//
+// Determinism argument: each fn call is a pure function of its seed (every
+// conformance run builds its own rng, event queue, and scheduler from the
+// seed alone), and each result is written to its own slice slot, so the
+// returned slice is independent of goroutine interleaving — bit-identical
+// to running the same seeds in a serial loop. Workers pull the next seed
+// from an atomic counter (work stealing), which balances the pool when
+// per-seed cost varies; that only reorders wall-clock execution, never
+// results. Callers that scan the slice in ascending order therefore report
+// the same first failure the serial loop would have.
+//
+// A panic inside fn is converted to an error in that seed's slot (on every
+// path, including workers == 1), so one poisoned seed cannot take down the
+// whole matrix.
+func RunMatrix(n, workers int, fn func(seed int64) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for seed := int64(0); seed < int64(n); seed++ {
+			errs[seed] = runSeed(fn, seed)
+		}
+		return errs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seed := next.Add(1) - 1
+				if seed >= int64(n) {
+					return
+				}
+				errs[seed] = runSeed(fn, seed)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+func runSeed(fn func(int64) error, seed int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn(seed)
+}
+
+// FirstFailure returns the lowest failing seed in a RunMatrix result, or
+// (-1, nil) if every seed passed — the same failure a serial loop that
+// stops at the first error would have reported.
+func FirstFailure(errs []error) (int64, error) {
+	for seed, err := range errs {
+		if err != nil {
+			return int64(seed), err
+		}
+	}
+	return -1, nil
+}

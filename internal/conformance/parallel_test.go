@@ -1,0 +1,79 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestRunMatrixMatchesSerial runs the same deterministic per-seed function
+// at several worker counts (including the serial baseline) and requires
+// identical result slices: sharding must never change what is reported.
+func TestRunMatrixMatchesSerial(t *testing.T) {
+	fail := map[int64]string{3: "three", 17: "seventeen", 63: "sixty-three"}
+	fn := func(seed int64) error {
+		if m, ok := fail[seed]; ok {
+			return errors.New(m)
+		}
+		if seed == 41 {
+			panic("seed 41 is poisoned")
+		}
+		return nil
+	}
+	const n = 64
+	serial := RunMatrix(n, 1, fn)
+	for _, workers := range []int{0, 2, 7, n, 5 * n} {
+		got := RunMatrix(n, workers, fn)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d results, serial has %d", workers, len(got), len(serial))
+		}
+		for seed := range got {
+			gs, ss := fmt.Sprint(got[seed]), fmt.Sprint(serial[seed])
+			if gs != ss {
+				t.Errorf("workers=%d seed %d: %q, serial %q", workers, seed, gs, ss)
+			}
+		}
+	}
+	if serial[41] == nil || serial[41].Error() != "panic: seed 41 is poisoned" {
+		t.Errorf("panic not converted to error: %v", serial[41])
+	}
+	if seed, err := FirstFailure(serial); seed != 3 || err == nil || err.Error() != "three" {
+		t.Errorf("FirstFailure = (%d, %v), want (3, three)", seed, err)
+	}
+	if seed, err := FirstFailure(make([]error, 5)); seed != -1 || err != nil {
+		t.Errorf("FirstFailure on clean slice = (%d, %v), want (-1, nil)", seed, err)
+	}
+	if got := RunMatrix(0, 4, fn); got != nil {
+		t.Errorf("RunMatrix(0) = %v, want nil", got)
+	}
+}
+
+// TestChaosDigestsParallelMatchSerial recomputes a slice of the chaos
+// matrix both serially and sharded and requires bit-identical digests per
+// seed — the replay-determinism guarantee must survive the worker pool.
+func TestChaosDigestsParallelMatchSerial(t *testing.T) {
+	s := suts()[0] // sfq
+	const n = 40
+	serial := make([]string, n)
+	for seed := int64(0); seed < n; seed++ {
+		d, err := chaosOne(s, seed)
+		if err != nil {
+			t.Fatalf("serial seed %d: %v", seed, err)
+		}
+		serial[seed] = d
+	}
+	parallel := make([]string, n)
+	errs := RunMatrix(n, 0, func(seed int64) error {
+		d, err := chaosOne(s, seed)
+		parallel[seed] = d
+		return err
+	})
+	if seed, err := FirstFailure(errs); err != nil {
+		t.Fatalf("parallel seed %d: %v", seed, err)
+	}
+	for seed := range serial {
+		if serial[seed] != parallel[seed] {
+			t.Errorf("seed %d: parallel digest diverged from serial", seed)
+		}
+	}
+}

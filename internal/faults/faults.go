@@ -126,11 +126,15 @@ func ScheduleOutages(q *eventq.Queue, link *sim.Link, outages []Outage) {
 			panic("faults: outages must be sorted, non-overlapping, finite, positive")
 		}
 		prevEnd = o.At + o.Duration
-		at, end := o.At, prevEnd
-		q.At(at, link.Fail)
-		q.At(end, link.Recover)
+		q.AtCall(o.At, linkFail, link)
+		q.AtCall(prevEnd, linkRecover, link)
 	}
 }
+
+// linkFail / linkRecover dispatch outage transitions without the per-outage
+// method-value allocation of q.At(at, link.Fail).
+func linkFail(arg any)    { arg.(*sim.Link).Fail() }
+func linkRecover(arg any) { arg.(*sim.Link).Recover() }
 
 // RandomOutages draws up to n link outages inside [0, horizon), each
 // lasting at most maxDur, sorted and non-overlapping (overlapping draws

@@ -1,9 +1,6 @@
 package sched
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // FairAirport implements the Fair Airport (FA) scheduler of Appendix B: a
 // work-conserving combination of a per-flow rate regulator, a Virtual
@@ -65,30 +62,66 @@ type faRegEvent struct {
 	gen  int
 }
 
+// faRegHeap is a typed min-heap of regulator release events ordered by
+// (eat, seq); hand-rolled like TagHeap to keep the regulator boxing-free.
 type faRegHeap struct {
 	es  []faRegEvent
 	seq uint64
 }
 
-func (h *faRegHeap) Len() int { return len(h.es) }
-func (h *faRegHeap) Less(i, j int) bool {
-	if h.es[i].eat != h.es[j].eat {
-		return h.es[i].eat < h.es[j].eat
+func (a faRegEvent) less(b faRegEvent) bool {
+	if a.eat != b.eat {
+		return a.eat < b.eat
 	}
-	return h.es[i].seq < h.es[j].seq
+	return a.seq < b.seq
 }
-func (h *faRegHeap) Swap(i, j int) { h.es[i], h.es[j] = h.es[j], h.es[i] }
-func (h *faRegHeap) Push(x any)    { h.es = append(h.es, x.(faRegEvent)) }
-func (h *faRegHeap) Pop() any {
-	old := h.es
-	n := len(old)
-	e := old[n-1]
-	h.es = old[:n-1]
-	return e
-}
+
+func (h *faRegHeap) Len() int { return len(h.es) }
+
 func (h *faRegHeap) push(eat float64, flow, idx, gen int) {
 	h.seq++
-	heap.Push(h, faRegEvent{eat: eat, seq: h.seq, flow: flow, idx: idx, gen: gen})
+	e := faRegEvent{eat: eat, seq: h.seq, flow: flow, idx: idx, gen: gen}
+	h.es = append(h.es, e)
+	es := h.es
+	i := len(es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(es[parent]) {
+			break
+		}
+		es[i] = es[parent]
+		i = parent
+	}
+	es[i] = e
+}
+
+func (h *faRegHeap) pop() faRegEvent {
+	es := h.es
+	top := es[0]
+	n := len(es) - 1
+	e := es[n]
+	h.es = es[:n]
+	es = es[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && es[r].less(es[l]) {
+			min = r
+		}
+		if !es[min].less(e) {
+			break
+		}
+		es[i] = es[min]
+		i = min
+	}
+	if n > 0 {
+		es[i] = e
+	}
+	return top
 }
 
 // NewFairAirport returns an empty Fair Airport scheduler.
@@ -157,7 +190,7 @@ func (s *FairAirport) Enqueue(now float64, p *Packet) error {
 // the GSQ, chaining successive release events (rule 2 / eq 120).
 func (s *FairAirport) promote(now float64) {
 	for s.reg.Len() > 0 && s.reg.es[0].eat <= now {
-		ev := heap.Pop(&s.reg).(faRegEvent)
+		ev := s.reg.pop()
 		f := s.state[ev.flow]
 		if f == nil || ev.gen != f.gen || ev.idx >= len(f.q) || ev.idx != f.regIdx {
 			continue // stale after compaction, service, or flow removal

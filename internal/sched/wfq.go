@@ -1,9 +1,6 @@
 package sched
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // gps simulates the fluid bit-by-bit weighted round robin reference system
 // that defines WFQ's virtual time v(t) (eq 3): dv/dt = C / Σ_{j∈B(t)} r_j,
@@ -33,23 +30,62 @@ type gpsEntry struct {
 	flow   int
 }
 
+// gpsHeap is a typed min-heap of fluid departures ordered by (finish, seq).
+// Hand-rolled like TagHeap: container/heap would box every gpsEntry on push
+// and pop, and the fluid simulation processes one entry per packet.
 type gpsHeap []gpsEntry
 
-func (h gpsHeap) Len() int { return len(h) }
-func (h gpsHeap) Less(i, j int) bool {
-	if h[i].finish != h[j].finish {
-		return h[i].finish < h[j].finish
+func (a gpsEntry) less(b gpsEntry) bool {
+	if a.finish != b.finish {
+		return a.finish < b.finish
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h gpsHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *gpsHeap) Push(x any)   { *h = append(*h, x.(gpsEntry)) }
-func (h *gpsHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h gpsHeap) Len() int { return len(h) }
+
+func (h *gpsHeap) push(e gpsEntry) {
+	*h = append(*h, e)
+	hs := *h
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(hs[parent]) {
+			break
+		}
+		hs[i] = hs[parent]
+		i = parent
+	}
+	hs[i] = e
+}
+
+func (h *gpsHeap) pop() gpsEntry {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	e := hs[n]
+	*h = hs[:n]
+	hs = hs[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && hs[r].less(hs[l]) {
+			min = r
+		}
+		if !hs[min].less(e) {
+			break
+		}
+		hs[i] = hs[min]
+		i = min
+	}
+	if n > 0 {
+		hs[i] = e
+	}
+	return top
 }
 
 func newGPS(c float64, weights map[int]float64) *gps {
@@ -73,7 +109,7 @@ func (g *gps) advance(now float64) {
 		if g.lastT+dt <= now {
 			g.lastT += dt
 			g.v = fmin
-			e := heap.Pop(&g.h).(gpsEntry)
+			e := g.h.pop()
 			g.count[e.flow]--
 			if g.count[e.flow] == 0 {
 				g.sumW -= g.weights[e.flow]
@@ -96,7 +132,7 @@ func (g *gps) arrive(flow int, finish float64) {
 	}
 	g.count[flow]++
 	g.seq++
-	heap.Push(&g.h, gpsEntry{finish: finish, seq: g.seq, flow: flow})
+	g.h.push(gpsEntry{finish: finish, seq: g.seq, flow: flow})
 }
 
 // WFQ is Weighted Fair Queuing (PGPS): packets are stamped with start and

@@ -1,9 +1,6 @@
 package sched
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // WFQOracle is the §1.2 thought experiment made concrete: WFQ whose fluid
 // reference system integrates the *actual* time-varying capacity C(t)
@@ -87,7 +84,7 @@ func (s *WFQOracle) advance(now float64) {
 				s.lastT += h
 			}
 			s.v = fmin
-			e := heap.Pop(&s.gh).(gpsEntry)
+			e := s.gh.pop()
 			s.count[e.flow]--
 			if s.count[e.flow] == 0 {
 				s.sumW -= s.flows.Weights[e.flow]
@@ -124,7 +121,7 @@ func (s *WFQOracle) Enqueue(now float64, p *Packet) error {
 	}
 	s.count[p.Flow]++
 	s.seq++
-	heap.Push(&s.gh, gpsEntry{finish: finish, seq: s.seq, flow: p.Flow})
+	s.gh.push(gpsEntry{finish: finish, seq: s.seq, flow: p.Flow})
 	s.heap.PushTag(finish, p)
 	s.flows.OnEnqueue(p)
 	return nil

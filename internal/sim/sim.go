@@ -119,6 +119,48 @@ type Link struct {
 	flowQBytes  map[int]float64 // queued bytes per flow (excluding in service)
 	flowQCount  map[int]int     // queued frames per flow
 	queuedTotal int             // queued frames across flows
+
+	// Packet recycling: enabled iff the scheduler declares itself
+	// PoolSafe, sampled lazily on the first arrival (composite schedulers
+	// answer for the children wired in by then). Wrappers that retain
+	// packets (the conformance recorder, FairAirport) never implement
+	// PoolSafe, so they transparently fall back to per-packet allocation.
+	pool        sched.PacketPool
+	poolOK      bool
+	poolChecked bool
+
+	// evFree recycles the per-transmission event nodes so the completion
+	// and propagation events allocate nothing in steady state.
+	evFree []*linkEvent
+}
+
+// linkEvent carries one transmission through its completion and (optional)
+// propagation events. It snapshots the values the old closures captured —
+// crucially its own epoch: a stale completion (scheduled before Fail,
+// firing after Recover started a new transmission) must see ITS epoch, not
+// whatever the link's counter has advanced to, or it would complete the
+// wrong transmission.
+type linkEvent struct {
+	l     *Link
+	f     *Frame
+	start float64
+	end   float64
+	epoch uint64
+}
+
+func (l *Link) getEvent() *linkEvent {
+	if n := len(l.evFree); n > 0 {
+		ev := l.evFree[n-1]
+		l.evFree[n-1] = nil
+		l.evFree = l.evFree[:n-1]
+		return ev
+	}
+	return &linkEvent{}
+}
+
+func (l *Link) putEvent(ev *linkEvent) {
+	*ev = linkEvent{}
+	l.evFree = append(l.evFree, ev)
 }
 
 // NewLink wires a link into the event queue q. sch decides order, proc
@@ -181,6 +223,16 @@ func (l *Link) QueuedFrames() int { return l.queuedTotal }
 // Down reports whether the link is currently failed.
 func (l *Link) Down() bool { return l.down }
 
+// PoolActive reports whether packet recycling is enabled on this link. It
+// is false until the first arrival (when the scheduler's pool safety is
+// sampled) and stays false for schedulers that retain packet references.
+func (l *Link) PoolActive() bool { return l.poolChecked && l.poolOK }
+
+// PooledPackets returns the current free-list depth (for tests and
+// observability): bounded by the peak number of simultaneously live
+// packets, not by the number of packets ever sent.
+func (l *Link) PooledPackets() int { return l.pool.Len() }
+
 // drop accounts one dropped frame under cause.
 func (l *Link) drop(f *Frame, cause DropCause) {
 	l.drops++
@@ -206,15 +258,26 @@ func (l *Link) Deliver(f *Frame) {
 			return
 		}
 	}
-	p := &sched.Packet{
-		Flow:    f.Flow,
-		Seq:     l.seq[f.Flow] + 1,
-		Length:  f.Bytes,
-		Arrival: now,
-		Rate:    f.Rate,
-		Payload: f,
+	if !l.poolChecked {
+		l.poolChecked = true
+		l.poolOK = sched.PoolSafeScheduler(l.sched)
 	}
+	var p *sched.Packet
+	if l.poolOK {
+		p = l.pool.Get()
+	} else {
+		p = &sched.Packet{}
+	}
+	p.Flow = f.Flow
+	p.Seq = l.seq[f.Flow] + 1
+	p.Length = f.Bytes
+	p.Arrival = now
+	p.Rate = f.Rate
+	p.Payload = f
 	if err := l.sched.Enqueue(now, p); err != nil {
+		if l.poolOK {
+			l.pool.Put(p) // PoolSafe: a failed Enqueue retains nothing
+		}
 		l.drop(f, DropEnqueueRejected)
 		return
 	}
@@ -288,13 +351,20 @@ func (l *Link) startNext() {
 			return
 		}
 		f := p.Payload.(*Frame)
-		l.flowQBytes[p.Flow] -= p.Length
-		l.flowQCount[p.Flow]--
-		l.queuedTotal--
-		if l.flowQCount[p.Flow] == 0 {
-			l.flowQBytes[p.Flow] = 0 // exact zero: empty queues hold no bytes
+		flow, length := p.Flow, p.Length
+		if l.poolOK {
+			// PoolSafe: the scheduler dropped its reference on Dequeue and
+			// the link only needed Flow/Length/Payload, so the packet can
+			// be recycled before the frame even finishes transmission.
+			l.pool.Put(p)
 		}
-		end := l.proc.Finish(now, p.Length)
+		l.flowQBytes[flow] -= length
+		l.flowQCount[flow]--
+		l.queuedTotal--
+		if l.flowQCount[flow] == 0 {
+			l.flowQBytes[flow] = 0 // exact zero: empty queues hold no bytes
+		}
+		end := l.proc.Finish(now, length)
 		if math.IsInf(end, 1) || math.IsNaN(end) {
 			l.busy = false
 			l.drop(f, DropStalled)
@@ -302,25 +372,45 @@ func (l *Link) startNext() {
 		}
 		l.busy = true
 		l.inflight = f
-		epoch := l.epoch
-		l.q.At(end, func() {
-			if epoch != l.epoch {
-				return // the link failed mid-transmission; frame already dropped
-			}
-			l.inflight = nil
-			l.delivered++
-			if l.OnDepart != nil {
-				l.OnDepart(f, now, end)
-			}
-			if l.PropDelay > 0 {
-				l.q.After(l.PropDelay, func() { l.out.Deliver(f) })
-			} else {
-				l.out.Deliver(f)
-			}
-			l.startNext()
-		})
+		ev := l.getEvent()
+		ev.l, ev.f, ev.start, ev.end, ev.epoch = l, f, now, end, l.epoch
+		l.q.AtCall(end, linkComplete, ev)
 		return
 	}
+}
+
+// linkComplete fires when a transmission ends. Split out of startNext (and
+// given its state via a pooled linkEvent) so per-frame completions schedule
+// without allocating a closure.
+func linkComplete(arg any) {
+	ev := arg.(*linkEvent)
+	l := ev.l
+	if ev.epoch != l.epoch {
+		l.putEvent(ev)
+		return // the link failed mid-transmission; frame already dropped
+	}
+	l.inflight = nil
+	l.delivered++
+	if l.OnDepart != nil {
+		l.OnDepart(ev.f, ev.start, ev.end)
+	}
+	if l.PropDelay > 0 {
+		l.q.AfterCall(l.PropDelay, linkPropagate, ev)
+	} else {
+		f := ev.f
+		l.putEvent(ev)
+		l.out.Deliver(f)
+	}
+	l.startNext()
+}
+
+// linkPropagate hands the frame downstream after the propagation delay,
+// reusing the completion's event node.
+func linkPropagate(arg any) {
+	ev := arg.(*linkEvent)
+	l, f := ev.l, ev.f
+	l.putEvent(ev)
+	l.out.Deliver(f)
 }
 
 // Sink counts and timestamps received frames per flow.

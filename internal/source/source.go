@@ -34,21 +34,24 @@ func (s *CBR) Run() {
 	if s.Rate <= 0 || s.PktBytes <= 0 {
 		panic("source: CBR needs positive rate and packet size")
 	}
-	interval := s.PktBytes / s.Rate
-	var emit func(i int64)
-	emit = func(i int64) {
-		now := s.Q.Now()
-		s.seq++
-		s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: s.PktBytes, Created: now})
-		// Emission times are computed from the index, not accumulated,
-		// so floating-point drift cannot add or drop packets.
-		next := s.Start + float64(i+1)*interval
-		if next < s.Stop {
-			s.Q.At(next, func() { emit(i + 1) })
-		}
-	}
 	if s.Start < s.Stop {
-		s.Q.At(s.Start, func() { emit(0) })
+		s.Q.AtCall(s.Start, cbrEmit, s)
+	}
+}
+
+// cbrEmit emits one packet and reschedules itself. A plain function taking
+// the source as its event argument, so per-packet scheduling allocates no
+// closure; the emission index is just seq, already on the struct.
+func cbrEmit(arg any) {
+	s := arg.(*CBR)
+	now := s.Q.Now()
+	s.seq++
+	s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: s.PktBytes, Created: now})
+	// Emission times are computed from the index, not accumulated,
+	// so floating-point drift cannot add or drop packets.
+	next := s.Start + float64(s.seq)*(s.PktBytes/s.Rate)
+	if next < s.Stop {
+		s.Q.AtCall(next, cbrEmit, s)
 	}
 }
 
@@ -108,7 +111,8 @@ type OnOff struct {
 	Stop     float64
 	Rng      *rand.Rand
 
-	seq int64
+	seq   int64
+	endOn float64 // end of the current on period (state for onOffBurst)
 }
 
 // Run schedules the source's packet emissions.
@@ -119,33 +123,39 @@ func (s *OnOff) Run() {
 	if s.Rng == nil {
 		panic("source: OnOff requires an explicit rng")
 	}
-	interval := s.PktBytes / s.PeakRate
-	var burst func(endOn float64)
-	var startOn func()
-	startOn = func() {
-		now := s.Q.Now()
-		burst(now + s.Rng.ExpFloat64()*s.MeanOn)
-	}
-	burst = func(endOn float64) {
-		now := s.Q.Now()
-		if now >= s.Stop {
-			return
-		}
-		if now >= endOn {
-			// Off period, then back on.
-			next := now + s.Rng.ExpFloat64()*s.MeanOff
-			if next < s.Stop {
-				s.Q.At(next, startOn)
-			}
-			return
-		}
-		s.seq++
-		s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: s.PktBytes, Created: now})
-		s.Q.At(now+interval, func() { burst(endOn) })
-	}
 	if s.Start < s.Stop {
-		s.Q.At(s.Start, startOn)
+		s.Q.AtCall(s.Start, onOffStart, s)
 	}
+}
+
+// onOffStart begins an on period: it draws its length, then bursts.
+func onOffStart(arg any) {
+	s := arg.(*OnOff)
+	s.endOn = s.Q.Now() + s.Rng.ExpFloat64()*s.MeanOn
+	onOffBurst(arg)
+}
+
+// onOffBurst emits one packet of the current on period and reschedules
+// itself; past the period's end it draws the off interval and schedules the
+// next onOffStart. Carrying endOn on the struct (instead of in a captured
+// variable) keeps per-packet scheduling closure-free.
+func onOffBurst(arg any) {
+	s := arg.(*OnOff)
+	now := s.Q.Now()
+	if now >= s.Stop {
+		return
+	}
+	if now >= s.endOn {
+		// Off period, then back on.
+		next := now + s.Rng.ExpFloat64()*s.MeanOff
+		if next < s.Stop {
+			s.Q.AtCall(next, onOffStart, s)
+		}
+		return
+	}
+	s.seq++
+	s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: s.PktBytes, Created: now})
+	s.Q.AtCall(now+s.PktBytes/s.PeakRate, onOffBurst, s)
 }
 
 // Bulk models a greedy transfer with a byte budget: it keeps Window bytes
@@ -186,8 +196,10 @@ func (s *Bulk) Run() {
 			}
 		}
 	}
-	s.Q.At(s.Start, s.fill)
+	s.Q.AtCall(s.Start, bulkFill, s)
 }
+
+func bulkFill(arg any) { arg.(*Bulk).fill() }
 
 func (s *Bulk) fill() {
 	now := s.Q.Now()
@@ -241,6 +253,13 @@ func (b *LeakyBucket) refill() {
 	b.lastFill = now
 }
 
+// leakyBucketTimer fires when the head-of-line deficit has been earned.
+func leakyBucketTimer(arg any) {
+	b := arg.(*LeakyBucket)
+	b.waiting = false
+	b.drain()
+}
+
 func (b *LeakyBucket) drain() {
 	b.refill()
 	for len(b.backlog) > 0 {
@@ -253,10 +272,7 @@ func (b *LeakyBucket) drain() {
 		if need > 1e-9*f.Bytes {
 			if !b.waiting {
 				b.waiting = true
-				b.Q.After(need/b.Rho, func() {
-					b.waiting = false
-					b.drain()
-				})
+				b.Q.AfterCall(need/b.Rho, leakyBucketTimer, b)
 			}
 			return
 		}

@@ -212,6 +212,7 @@ type Source struct {
 	Pace bool
 
 	seq int64
+	idx int // next frame index (state for vbrEmit)
 }
 
 // Run schedules frame emissions.
@@ -219,40 +220,47 @@ func (s *Source) Run() {
 	if s.PktBytes <= 0 || s.Trace == nil || len(s.Trace.Sizes) == 0 {
 		panic("vbr: invalid source")
 	}
+	if s.Start < s.Stop {
+		s.Q.AtCall(s.Start, vbrEmit, s)
+	}
+}
+
+// vbrEmit packetizes one frame and reschedules itself; the frame index
+// lives on the struct so the per-frame chain allocates no closures. Paced
+// cells still capture their size in a closure — per-cell pacing is rare and
+// off the hot path.
+func vbrEmit(arg any) {
+	s := arg.(*Source)
+	idx := s.idx
+	s.idx++
 	interval := 1 / s.Trace.FPS
-	var emit func(idx int)
-	emit = func(idx int) {
-		now := s.Q.Now()
-		total := s.Trace.Sizes[idx%len(s.Trace.Sizes)]
-		ncells := int(math.Ceil(total / s.PktBytes))
-		remaining := total
-		for i := 0; i < ncells; i++ {
-			sz := s.PktBytes
-			if remaining < sz {
-				sz = remaining
-			}
-			remaining -= sz
-			deliver := func(b float64) func() {
-				return func() {
-					s.seq++
-					s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: b, Created: s.Q.Now()})
-				}
-			}(sz)
-			if s.Pace && ncells > 1 {
-				s.Q.At(now+float64(i)*interval/float64(ncells), deliver)
-			} else {
-				deliver()
-			}
+	now := s.Q.Now()
+	total := s.Trace.Sizes[idx%len(s.Trace.Sizes)]
+	ncells := int(math.Ceil(total / s.PktBytes))
+	remaining := total
+	for i := 0; i < ncells; i++ {
+		sz := s.PktBytes
+		if remaining < sz {
+			sz = remaining
 		}
-		// Frame instants are computed from the index so floating-point
-		// drift cannot add or drop frames.
-		next := s.Start + float64(idx+1)*interval
-		if next < s.Stop {
-			s.Q.At(next, func() { emit(idx + 1) })
+		remaining -= sz
+		deliver := func(b float64) func() {
+			return func() {
+				s.seq++
+				s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: b, Created: s.Q.Now()})
+			}
+		}(sz)
+		if s.Pace && ncells > 1 {
+			s.Q.At(now+float64(i)*interval/float64(ncells), deliver)
+		} else {
+			deliver()
 		}
 	}
-	if s.Start < s.Stop {
-		s.Q.At(s.Start, func() { emit(0) })
+	// Frame instants are computed from the index so floating-point
+	// drift cannot add or drop frames.
+	next := s.Start + float64(idx+1)*interval
+	if next < s.Stop {
+		s.Q.AtCall(next, vbrEmit, s)
 	}
 }
 
