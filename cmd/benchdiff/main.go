@@ -50,11 +50,13 @@ type delta struct {
 func (d delta) Regressed() bool { return d.NsRegressed || d.AllocsGrew }
 
 // compare pairs the benchmarks present in both files, in name order.
-// ns_per_op regresses when it grows by more than threshold. allocs_per_op
-// regresses when it grows by more than threshold — or at all when the old
-// count was zero, because zero-alloc paths are load-bearing guarantees
-// here, not accidents.
-func compare(oldB, newB map[string]benchEntry, threshold float64) []delta {
+// ns_per_op regresses when it grows by more than threshold (skipped
+// entirely in allocsOnly mode: time ratios between different machines
+// carry no signal, allocation counts do). allocs_per_op regresses when it
+// grows by more than threshold — or at all when the old count was zero,
+// because zero-alloc paths are load-bearing guarantees here, not
+// accidents.
+func compare(oldB, newB map[string]benchEntry, threshold float64, allocsOnly bool) []delta {
 	names := make([]string, 0, len(oldB))
 	for name := range oldB {
 		if _, ok := newB[name]; ok {
@@ -72,7 +74,7 @@ func compare(oldB, newB map[string]benchEntry, threshold float64) []delta {
 		}
 		if o.NsPerOp > 0 {
 			d.NsRatio = n.NsPerOp / o.NsPerOp
-			d.NsRegressed = d.NsRatio > 1+threshold
+			d.NsRegressed = !allocsOnly && d.NsRatio > 1+threshold
 		}
 		if o.AllocsPerOp == 0 {
 			d.AllocsGrew = n.AllocsPerOp > 0
@@ -101,9 +103,10 @@ func load(path string) (benchFile, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 0.20, "relative growth in ns/op or allocs/op counted as a regression")
+	allocsOnly := flag.Bool("allocs-only", false, "gate on allocs_per_op only (machine-independent; the CI mode, where the baseline was recorded on different hardware)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-allocs-only] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	oldF, err := load(flag.Arg(0))
@@ -119,7 +122,7 @@ func main() {
 	if oldF.CPU != "" && newF.CPU != "" && oldF.CPU != newF.CPU {
 		fmt.Printf("note: files were recorded on different CPUs (%q vs %q); ratios may mislead\n", oldF.CPU, newF.CPU)
 	}
-	deltas := compare(oldF.Benchmarks, newF.Benchmarks, *threshold)
+	deltas := compare(oldF.Benchmarks, newF.Benchmarks, *threshold, *allocsOnly)
 	if len(deltas) == 0 {
 		fmt.Fprintln(os.Stderr, "no common benchmarks")
 		os.Exit(2)

@@ -15,7 +15,7 @@ func TestCompare(t *testing.T) {
 		"BenchmarkC":   {NsPerOp: 130, AllocsPerOp: 3},  // ns regression, alloc win
 		"BenchmarkNew": {NsPerOp: 1},
 	}
-	ds := compare(oldB, newB, 0.20)
+	ds := compare(oldB, newB, 0.20, false)
 	if len(ds) != 3 {
 		t.Fatalf("compared %d benchmarks, want 3 (intersection only)", len(ds))
 	}
@@ -41,7 +41,29 @@ func TestCompare(t *testing.T) {
 func TestCompareExactThreshold(t *testing.T) {
 	oldB := map[string]benchEntry{"B": {NsPerOp: 100, AllocsPerOp: 5}}
 	newB := map[string]benchEntry{"B": {NsPerOp: 120, AllocsPerOp: 6}}
-	if d := compare(oldB, newB, 0.20)[0]; d.Regressed() {
+	if d := compare(oldB, newB, 0.20, false)[0]; d.Regressed() {
 		t.Errorf("exactly +20%% must not regress: %+v", d)
+	}
+}
+
+func TestCompareAllocsOnly(t *testing.T) {
+	oldB := map[string]benchEntry{
+		"BenchmarkSlow":  {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkLeaky": {NsPerOp: 100, AllocsPerOp: 0},
+	}
+	newB := map[string]benchEntry{
+		"BenchmarkSlow":  {NsPerOp: 500, AllocsPerOp: 10}, // 5x slower machine: not a regression here
+		"BenchmarkLeaky": {NsPerOp: 100, AllocsPerOp: 1},  // 0 -> 1 alloc still is
+	}
+	ds := compare(oldB, newB, 0.20, true)
+	byName := map[string]delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkSlow"]; d.Regressed() {
+		t.Errorf("allocs-only must ignore ns growth: %+v", d)
+	}
+	if d := byName["BenchmarkLeaky"]; !d.Regressed() {
+		t.Errorf("allocs-only must still catch 0 -> 1 allocs: %+v", d)
 	}
 }

@@ -1,0 +1,125 @@
+// Command benchrecord converts `go test -bench . -benchmem` output into
+// the BENCH_*.json schema that cmd/benchdiff consumes, so a baseline can
+// be recorded in one pipe:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchrecord \
+//	    -note "Baseline 3: observability layer" -o BENCH_3.json
+//
+// The parser keeps the last result per benchmark name (re-runs override),
+// strips the -GOMAXPROCS suffix from names, and copies the goos / goarch /
+// cpu header lines go test prints, which benchdiff uses to warn when two
+// files came from different machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchEntry struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Schema     string                `json:"schema"`
+	Recorded   string                `json:"recorded"`
+	Note       string                `json:"note"`
+	Goos       string                `json:"goos"`
+	Goarch     string                `json:"goarch"`
+	CPU        string                `json:"cpu"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+// benchLine matches one result row, e.g.
+//
+//	BenchmarkEventQueue-8  3079naming  389.1 ns/op  0 B/op  0 allocs/op
+//
+// The -benchmem columns are optional: without them B/op and allocs/op
+// record as zero, which would trip benchdiff's zero-alloc gate in the
+// wrong direction — so main requires them unless -allow-no-mem is set.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+// parse consumes go test output and fills a benchFile.
+func parse(r io.Reader, requireMem bool) (benchFile, error) {
+	f := benchFile{
+		Schema:     "go test -run '^$' -bench . -benchmem ./  (root package)",
+		Benchmarks: make(map[string]benchEntry),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if m[4] == "" && requireMem {
+			return f, fmt.Errorf("benchrecord: %q has no -benchmem columns; rerun with -benchmem or pass -allow-no-mem", m[1])
+		}
+		e := benchEntry{}
+		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			e.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			e.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		f.Benchmarks[m[1]] = e
+	}
+	if err := sc.Err(); err != nil {
+		return f, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return f, fmt.Errorf("benchrecord: no benchmark results in input")
+	}
+	return f, nil
+}
+
+func main() {
+	var (
+		note       = flag.String("note", "", "free-form note stored in the snapshot")
+		out        = flag.String("o", "", "output file (default stdout)")
+		allowNoMem = flag.Bool("allow-no-mem", false, "accept input without -benchmem columns (B/op and allocs/op record as 0)")
+	)
+	flag.Parse()
+	f, err := parse(os.Stdin, !*allowNoMem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	f.Recorded = time.Now().Format("2006-01-02")
+	f.Note = *note
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

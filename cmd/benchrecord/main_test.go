@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEventQueue-8   	 3079106	       389.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduler/sfq-8         	  123456	      9876 ns/op	      12 B/op	       1 allocs/op
+BenchmarkScheduler/sfq-8         	  123456	      9000 ns/op	      10 B/op	       1 allocs/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	f, err := parse(strings.NewReader(sample), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Errorf("header: %+v", f)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %v", f.Benchmarks)
+	}
+	eq := f.Benchmarks["BenchmarkEventQueue"]
+	if eq.Iterations != 3079106 || eq.NsPerOp != 389.1 || eq.AllocsPerOp != 0 {
+		t.Errorf("eventqueue entry: %+v", eq)
+	}
+	// The -8 suffix is stripped and re-runs keep the last result.
+	sfq := f.Benchmarks["BenchmarkScheduler/sfq"]
+	if sfq.NsPerOp != 9000 || sfq.BytesPerOp != 10 {
+		t.Errorf("sfq entry: %+v", sfq)
+	}
+}
+
+func TestParseRequiresBenchmem(t *testing.T) {
+	in := "BenchmarkX-8  100  5 ns/op\n"
+	if _, err := parse(strings.NewReader(in), true); err == nil {
+		t.Error("missing -benchmem columns accepted")
+	}
+	f, err := parse(strings.NewReader(in), false)
+	if err != nil || f.Benchmarks["BenchmarkX"].NsPerOp != 5 {
+		t.Errorf("allow-no-mem parse: %v %+v", err, f.Benchmarks)
+	}
+}
+
+func TestParseEmptyInputFails(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n"), true); err == nil {
+		t.Error("empty input accepted")
+	}
+}

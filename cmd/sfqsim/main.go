@@ -7,8 +7,16 @@
 //	sfqsim -sched sfq -rate 10 -server onoff -flows 4 -weights 1,2,3,4 \
 //	       -pkt 500 -load 1.5 -dur 10
 //
-// Schedulers: sfq, hsfq, wfq, fqs, scfq, drr, vc, edd, fifo, fa.
+// Schedulers: any name in the sched registry (sfq, flowsfq, hsfq, wfq,
+// fqs, scfq, drr, vc, edd, fifo, fa, ...); run with -sched help to list.
 // Servers: const, onoff, slotted, markov.
+//
+// Observability (all optional; the default output is unchanged):
+//
+//	-trace FILE       write the link's event trace ring as CSV on exit
+//	-trace-cap N      trace ring capacity (newest N events are kept)
+//	-metrics FILE     write the metrics registry snapshot as JSON on exit
+//	-dump-every SEC   periodic expvar-style metrics dumps to stderr
 package main
 
 import (
@@ -19,19 +27,21 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
+	_ "repro/internal/core" // registers the SFQ family of schedulers
 	"repro/internal/eventq"
 	"repro/internal/fairness"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/source"
+	"repro/internal/tracelog"
 	"repro/internal/units"
 )
 
 func main() {
 	var (
-		schedName  = flag.String("sched", "sfq", "scheduler: sfq|flowsfq|hsfq|wfq|fqs|scfq|drr|vc|edd|fifo|fa")
+		schedName  = flag.String("sched", "sfq", "scheduler (registry name; 'help' lists all)")
 		rateMbps   = flag.Float64("rate", 10, "link rate in Mb/s")
 		serverKind = flag.String("server", "const", "capacity process: const|onoff|slotted|markov")
 		nFlows     = flag.Int("flows", 4, "number of flows")
@@ -42,8 +52,17 @@ func main() {
 		duration   = flag.Float64("dur", 10, "simulated seconds")
 		seed       = flag.Int64("seed", 1, "random seed")
 		buffer     = flag.Float64("buffer", 0, "link buffer in bytes (0 = unbounded)")
+		traceFile  = flag.String("trace", "", "write link event trace CSV to this file")
+		traceCap   = flag.Int("trace-cap", obs.DefaultTraceCap, "trace ring capacity (events)")
+		metricsOut = flag.String("metrics", "", "write metrics snapshot JSON to this file ('-' = stdout)")
+		dumpEvery  = flag.Float64("dump-every", 0, "periodic metrics dump interval in simulated seconds (0 = off; dumps to stderr)")
 	)
 	flag.Parse()
+
+	if *schedName == "help" {
+		fmt.Println("registered schedulers:", strings.Join(sched.Names(), " "))
+		return
+	}
 
 	linkRate := units.Mbps(*rateMbps)
 	weights, err := parseWeights(*weightsArg, *nFlows)
@@ -52,9 +71,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	s, err := makeScheduler(*schedName, linkRate)
+	// AssumedCapacity feeds the disciplines that need the link rate at
+	// construction (wfq, fqs); the rest ignore it.
+	s, err := sched.New(*schedName, sched.WithAssumedCapacity(linkRate))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "sfqsim:", err)
 		os.Exit(2)
 	}
 	rng := rand.New(rand.NewSource(*seed))
@@ -69,6 +90,17 @@ func main() {
 	link := sim.NewLink(q, "link", s, proc, sink)
 	link.BufferBytes = *buffer
 	mon := sim.Attach(link)
+
+	// Observability is attached only on request, so a bare run keeps the
+	// probe-free zero-allocation hot path.
+	var reg *obs.Registry
+	if *traceFile != "" || *metricsOut != "" || *dumpEvery > 0 {
+		reg = obs.NewRegistry()
+		reg.Observe(link, obs.WithTraceCap(*traceCap))
+		if *dumpEvery > 0 {
+			obs.PeriodicDump(q, os.Stderr, reg, *dumpEvery)
+		}
+	}
 
 	sumW := 0.0
 	for _, w := range weights {
@@ -117,6 +149,45 @@ func main() {
 			fmt.Printf("  H(%d,%d) = %.1f\n", f, m, h)
 		}
 	}
+
+	if reg != nil {
+		if err := writeObservability(reg, *traceFile, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "sfqsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeObservability exports the trace ring and metrics snapshot.
+func writeObservability(reg *obs.Registry, traceFile, metricsOut string) error {
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := tracelog.WriteTraceEvents(f, reg.Get("link").Trace()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		w := os.Stdout
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func parseWeights(arg string, n int) ([]float64, error) {
@@ -140,34 +211,6 @@ func parseWeights(arg string, n int) ([]float64, error) {
 		ws[i] = w
 	}
 	return ws, nil
-}
-
-func makeScheduler(name string, linkRate float64) (sched.Interface, error) {
-	switch name {
-	case "sfq":
-		return core.New(), nil
-	case "flowsfq":
-		return core.NewFlowSFQ(), nil
-	case "hsfq":
-		return core.NewHSFQ(), nil
-	case "wfq":
-		return sched.NewWFQ(linkRate), nil
-	case "fqs":
-		return sched.NewFQS(linkRate), nil
-	case "scfq":
-		return sched.NewSCFQ(), nil
-	case "drr":
-		return sched.NewDRR(1500), nil
-	case "vc":
-		return sched.NewVirtualClock(), nil
-	case "edd":
-		return sched.NewEDD(), nil
-	case "fifo":
-		return sched.NewFIFO(), nil
-	case "fa":
-		return sched.NewFairAirport(), nil
-	}
-	return nil, fmt.Errorf("sfqsim: unknown scheduler %q", name)
 }
 
 func makeProcess(kind string, linkRate float64, rng *rand.Rand) (server.Process, error) {

@@ -3,6 +3,8 @@ package main
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/sched"
 )
 
 func TestParseWeights(t *testing.T) {
@@ -25,14 +27,16 @@ func TestParseWeights(t *testing.T) {
 	}
 }
 
-func TestMakeScheduler(t *testing.T) {
+// TestRegistryConstruction checks every name sfqsim historically accepted
+// still constructs through the registry with the flags' option set.
+func TestRegistryConstruction(t *testing.T) {
 	for _, name := range []string{"sfq", "flowsfq", "hsfq", "wfq", "fqs", "scfq", "drr", "vc", "edd", "fifo", "fa"} {
-		s, err := makeScheduler(name, 1000)
+		s, err := sched.New(name, sched.WithAssumedCapacity(1000))
 		if err != nil || s == nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
-	if _, err := makeScheduler("nope", 1000); err == nil {
+	if _, err := sched.New("nope", sched.WithAssumedCapacity(1000)); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
 }

@@ -6,7 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/core"
+	_ "repro/internal/core" // registers the SFQ family in the sched registry
 	"repro/internal/qos"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -112,65 +112,81 @@ func faDelay(w Workload) func(eat float64, p *sched.Packet, rf float64) float64 
 	}
 }
 
-// suts lists every scheduler in internal/core and internal/sched with the
-// strongest checker set its discipline guarantees.
+// mk builds a scheduler through the registry with workload-independent
+// options. The blank core import above registers the SFQ family, making
+// those names resolvable here.
+func mk(name string, opts ...sched.Option) func(Workload) sched.Interface {
+	return func(Workload) sched.Interface { return sched.MustNew(name, opts...) }
+}
+
+// suts lists every registered discipline with the strongest checker set it
+// guarantees. Construction goes through the sched registry — the same path
+// cmd/sfqsim and cmd/experiments use — so conformance certifies exactly
+// what the tools ship; registry_test.go separately pins registry output to
+// the direct constructors.
 func suts() []sut {
 	return []sut{
 		{
-			name: "sfq", make: func(Workload) sched.Interface { return core.New() },
+			name: "sfq", make: mk("sfq"),
 			kinds: allKinds, thm1: sfqThm1, thm2: true, thm4: true,
 			tagName: "start tag", tagKey: startTag, ref: refExact,
 		},
 		{
-			name: "sfq-lowweight", make: func(Workload) sched.Interface { return core.NewTie(core.TieLowWeightFirst) },
+			name: "sfq-lowweight", make: mk("sfq-lowweight"),
 			kinds: allKinds, thm1: sfqThm1, thm2: true, thm4: true,
 			tagName: "start tag", tagKey: startTag, // tie rule differs from the reference: no lockstep
 		},
 		{
-			name: "flowsfq", make: func(Workload) sched.Interface { return core.NewFlowSFQ() },
+			name: "flowsfq", make: mk("flowsfq"),
 			kinds: allKinds, thm1: sfqThm1, thm2: true, thm4: true,
 			tagName: "start tag", tagKey: startTag, ref: refExact,
 		},
 		{
-			name: "hsfq-flat", make: func(Workload) sched.Interface { return core.NewHSFQ() },
+			name: "hsfq-flat", make: mk("hsfq"),
 			kinds: noRateKinds, thm1: sfqThm1, thm2: true, thm4: true,
 			ref: refOrder, // HSFQ does not stamp packet tags
 		},
 		{
-			name: "scfq", make: func(Workload) sched.Interface { return sched.NewSCFQ() },
+			name: "scfq", make: mk("scfq"),
 			kinds: allKinds, thm1: sfqThm1, eq56: true,
 			tagName: "finish tag", tagKey: finishTag,
 		},
 		{
-			name: "wfq", make: func(w Workload) sched.Interface { return sched.NewWFQ(w.C) },
+			name: "wfq", make: func(w Workload) sched.Interface {
+				return sched.MustNew("wfq", sched.WithAssumedCapacity(w.C))
+			},
 			kinds: noRateKinds, pgps: true, delayName: "WFQ delay", delay: wfqDelay,
 		},
 		{
-			name: "fqs", make: func(w Workload) sched.Interface { return sched.NewFQS(w.C) },
+			name: "fqs", make: func(w Workload) sched.Interface {
+				return sched.MustNew("fqs", sched.WithAssumedCapacity(w.C))
+			},
 			kinds: noRateKinds,
 		},
 		{
-			name: "vclock", make: func(Workload) sched.Interface { return sched.NewVirtualClock() },
+			name: "vclock", make: mk("vclock"),
 			kinds: allKinds, delayName: "Virtual Clock delay", delay: wfqDelay,
 		},
 		{
-			name: "drr", make: func(w Workload) sched.Interface { return sched.NewDRR(drrQuantum(w)) },
+			name: "drr", make: func(w Workload) sched.Interface {
+				return sched.MustNew("drr", sched.WithQuantum(drrQuantum(w)))
+			},
 			kinds: noRateKinds, thm1: drrThm1, thm1Deep: true,
 		},
 		{
-			name: "fifo", make: func(Workload) sched.Interface { return sched.NewFIFO() },
+			name: "fifo", make: mk("fifo"),
 			kinds: allKinds,
 		},
 		{
-			name: "edd", make: func(Workload) sched.Interface { return sched.NewEDD() },
+			name: "edd", make: mk("edd"),
 			kinds: allKinds,
 		},
 		{
-			name: "fairairport", make: func(Workload) sched.Interface { return sched.NewFairAirport() },
+			name: "fairairport", make: mk("fairairport"),
 			kinds: noRateKinds, thm1: faThm1, delayName: "Fair Airport delay", delay: faDelay,
 		},
 		{
-			name: "priority-scfq", make: func(Workload) sched.Interface { return sched.NewPriority(sched.NewSCFQ()) },
+			name: "priority-scfq", make: mk("priority-scfq"),
 			kinds: allKinds,
 		},
 	}

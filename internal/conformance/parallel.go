@@ -25,8 +25,47 @@ import (
 // path, including workers == 1), so one poisoned seed cannot take down the
 // whole matrix.
 func RunMatrix(n, workers int, fn func(seed int64) error) []error {
+	errs, _ := RunMatrixStats(n, workers, fn)
+	return errs
+}
+
+// MatrixStats aggregates the observability counters of one RunMatrix call.
+// Each worker accumulates into its own shard with no shared state, and the
+// shards are merged after the pool drains, so the aggregate costs no
+// synchronization on the seed path. Seeds/Failures/Panics are
+// deterministic (functions of the seed results alone); SeedsPerShard shows
+// how work stealing balanced the pool and is the one interleaving-
+// dependent field — observability, never part of a replay comparison.
+type MatrixStats struct {
+	Seeds         int   // seeds evaluated
+	Failures      int   // seeds whose fn returned an error (panics included)
+	Panics        int   // failures that were recovered panics
+	Workers       int   // pool size used
+	SeedsPerShard []int // seeds each worker ran (len == Workers)
+}
+
+// shardStats is one worker's private accumulator.
+type shardStats struct {
+	seeds    int
+	failures int
+	panics   int
+}
+
+func (s *shardStats) account(err error, panicked bool) {
+	s.seeds++
+	if err != nil {
+		s.failures++
+	}
+	if panicked {
+		s.panics++
+	}
+}
+
+// RunMatrixStats is RunMatrix returning the merged per-shard statistics
+// alongside the per-seed results.
+func RunMatrixStats(n, workers int, fn func(seed int64) error) ([]error, MatrixStats) {
 	if n <= 0 {
-		return nil
+		return nil, MatrixStats{}
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -35,38 +74,56 @@ func RunMatrix(n, workers int, fn func(seed int64) error) []error {
 		workers = n
 	}
 	errs := make([]error, n)
+	shards := make([]shardStats, workers)
 	if workers == 1 {
 		for seed := int64(0); seed < int64(n); seed++ {
-			errs[seed] = runSeed(fn, seed)
+			err, panicked := runSeed(fn, seed)
+			errs[seed] = err
+			shards[0].account(err, panicked)
 		}
-		return errs
+		return errs, mergeShards(shards)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(shard *shardStats) {
 			defer wg.Done()
 			for {
 				seed := next.Add(1) - 1
 				if seed >= int64(n) {
 					return
 				}
-				errs[seed] = runSeed(fn, seed)
+				err, panicked := runSeed(fn, seed)
+				errs[seed] = err
+				shard.account(err, panicked)
 			}
-		}()
+		}(&shards[w])
 	}
 	wg.Wait()
-	return errs
+	return errs, mergeShards(shards)
 }
 
-func runSeed(fn func(int64) error, seed int64) (err error) {
+// mergeShards folds the per-worker accumulators into the final aggregate.
+func mergeShards(shards []shardStats) MatrixStats {
+	st := MatrixStats{Workers: len(shards), SeedsPerShard: make([]int, len(shards))}
+	for i, s := range shards {
+		st.Seeds += s.seeds
+		st.Failures += s.failures
+		st.Panics += s.panics
+		st.SeedsPerShard[i] = s.seeds
+	}
+	return st
+}
+
+func runSeed(fn func(int64) error, seed int64) (err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
+			panicked = true
 		}
 	}()
-	return fn(seed)
+	return fn(seed), false
 }
 
 // FirstFailure returns the lowest failing seed in a RunMatrix result, or

@@ -1,0 +1,223 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// replayDigest flattens one conformance run into a comparable transcript:
+// the full dequeue sequence with tags and dequeue times, plus the link's
+// transmission intervals. Two runs are "the same schedule" iff their
+// digests are byte-equal. (Conformance runs wrap the scheduler in the
+// trace recorder, which retains packets and therefore disables pooling —
+// the stamped packets stay valid after the run.)
+func replayDigest(tr *Trace, mon *sim.Monitor) string {
+	var b strings.Builder
+	for i, st := range tr.Deq {
+		p := st.P
+		fmt.Fprintf(&b, "%d %d %.9g @%.9g tags %.17g %.17g", p.Flow, p.Seq, p.Length, st.Now, p.VirtualStart, p.VirtualFinish)
+		if i < len(mon.Records) {
+			r := mon.Records[i]
+			fmt.Fprintf(&b, " tx %.17g..%.17g", r.Start, r.End)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// directConstructors maps every registered discipline the sut table
+// exercises to its pre-registry constructor. The round-trip test holds the
+// registry to these: sched.New(name) must reproduce the direct
+// constructor's schedule exactly, so the old construction path can be
+// deprecated without a behavior flag-day.
+func directConstructors() map[string]func(w Workload) sched.Interface {
+	return map[string]func(w Workload) sched.Interface{
+		"sfq":           func(Workload) sched.Interface { return core.New() },
+		"sfq-lowweight": func(Workload) sched.Interface { return core.NewTie(core.TieLowWeightFirst) },
+		"flowsfq":       func(Workload) sched.Interface { return core.NewFlowSFQ() },
+		"hsfq":          func(Workload) sched.Interface { return core.NewHSFQ() },
+		"scfq":          func(Workload) sched.Interface { return sched.NewSCFQ() },
+		"wfq":           func(w Workload) sched.Interface { return sched.NewWFQ(w.C) },
+		"fqs":           func(w Workload) sched.Interface { return sched.NewFQS(w.C) },
+		"vclock":        func(Workload) sched.Interface { return sched.NewVirtualClock() },
+		"drr":           func(w Workload) sched.Interface { return sched.NewDRR(drrQuantum(w)) },
+		"fifo":          func(Workload) sched.Interface { return sched.NewFIFO() },
+		"edd":           func(Workload) sched.Interface { return sched.NewEDD() },
+		"fairairport":   func(Workload) sched.Interface { return sched.NewFairAirport() },
+		"priority-scfq": func(Workload) sched.Interface { return sched.NewPriority(sched.NewSCFQ()) },
+	}
+}
+
+// registryConstructors builds the same disciplines through sched.New.
+func registryConstructors() map[string]func(w Workload) sched.Interface {
+	return map[string]func(w Workload) sched.Interface{
+		"sfq":           mk("sfq"),
+		"sfq-lowweight": mk("sfq-lowweight"),
+		"flowsfq":       mk("flowsfq"),
+		"hsfq":          mk("hsfq"),
+		"scfq":          mk("scfq"),
+		"wfq":           func(w Workload) sched.Interface { return sched.MustNew("wfq", sched.WithAssumedCapacity(w.C)) },
+		"fqs":           func(w Workload) sched.Interface { return sched.MustNew("fqs", sched.WithAssumedCapacity(w.C)) },
+		"vclock":        mk("vclock"),
+		"drr":           func(w Workload) sched.Interface { return sched.MustNew("drr", sched.WithQuantum(drrQuantum(w))) },
+		"fifo":          mk("fifo"),
+		"edd":           mk("edd"),
+		"fairairport":   mk("fairairport"),
+		"priority-scfq": mk("priority-scfq"),
+	}
+}
+
+// TestRegistryRoundTrip replays randomized workloads on registry-built and
+// directly constructed schedulers and requires identical schedules.
+func TestRegistryRoundTrip(t *testing.T) {
+	direct := directConstructors()
+	viaReg := registryConstructors()
+	if len(direct) != len(viaReg) {
+		t.Fatalf("constructor tables diverge: %d direct vs %d registry", len(direct), len(viaReg))
+	}
+	seeds := int64(50)
+	if testing.Short() {
+		seeds = 10
+	}
+	for name, mkDirect := range direct {
+		mkReg, ok := viaReg[name]
+		if !ok {
+			t.Fatalf("no registry constructor for %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < seeds; seed++ {
+				w := Random(rand.New(rand.NewSource(seed)), allKinds[int(seed)%len(allKinds)], pktsPerFlow)
+				trD, resD, err := Run(mkDirect(w), w, nil)
+				if err != nil {
+					t.Fatalf("seed %d direct: %v", seed, err)
+				}
+				trR, resR, err := Run(mkReg(w), w, nil)
+				if err != nil {
+					t.Fatalf("seed %d registry: %v", seed, err)
+				}
+				if dd, dr := replayDigest(trD, resD.Mon), replayDigest(trR, resR.Mon); dd != dr {
+					t.Fatalf("seed %d: registry scheduler diverged from direct constructor\ndirect:\n%s\nregistry:\n%s", seed, dd, dr)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryCoversAllSuts pins the sut table to the registry: every
+// discipline the conformance matrix certifies must be constructible by
+// name, and the registry must not silently grow disciplines the matrix
+// never sees.
+func TestRegistryCoversAllSuts(t *testing.T) {
+	names := sched.Names()
+	registered := make(map[string]bool, len(names))
+	for _, n := range names {
+		registered[n] = true
+	}
+	for name := range registryConstructors() {
+		if !registered[name] {
+			t.Errorf("constructor table references unregistered discipline %q", name)
+		}
+	}
+	// Registered names with no conformance coverage: "priority" (the bare
+	// combinator, covered through priority-scfq) and aliases. Everything
+	// else must be in the round-trip table.
+	covered := registryConstructors()
+	exempt := map[string]bool{"priority": true, "vc": true, "fa": true}
+	for _, n := range names {
+		if covered[n] == nil && !exempt[n] {
+			t.Errorf("registered discipline %q has no conformance round-trip coverage", n)
+		}
+	}
+	// And unknown names fail loudly, listing what exists.
+	if _, err := sched.New("no-such-discipline"); err == nil || !strings.Contains(err.Error(), "sfq") {
+		t.Errorf("New(no-such-discipline) error should list known names, got %v", err)
+	}
+	if _, err := sched.New("wfq"); !errors.Is(err, sched.ErrBadConfig) {
+		t.Errorf("New(wfq) without capacity = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestProbeTransparency replays every discipline probed and unprobed and
+// requires bit-identical schedules: an attached obs.Observer must be
+// purely observational. Seeds run through RunMatrix, so with -race this
+// doubles as the probed parallel-harness race check.
+func TestProbeTransparency(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 10
+	}
+	for _, s := range suts() {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			t.Parallel()
+			errs := RunMatrix(seeds, 0, func(seed int64) error {
+				w := Random(rand.New(rand.NewSource(seed)), s.kinds[int(seed)%len(s.kinds)], pktsPerFlow)
+				trBare, resBare, err := Run(s.make(w), w, nil)
+				if err != nil {
+					return err
+				}
+				var o *obs.Observer
+				trObs, resObs, err := RunWith(s.make(w), w, nil, func(l *sim.Link) {
+					o = obs.Observe(l)
+				})
+				if err != nil {
+					return err
+				}
+				if db, dp := replayDigest(trBare, resBare.Mon), replayDigest(trObs, resObs.Mon); db != dp {
+					return fmt.Errorf("probed replay diverged\nbare:\n%s\nprobed:\n%s", db, dp)
+				}
+				snap := o.Snapshot()
+				if snap.Delivered != int64(len(resObs.Mon.Records)) {
+					return fmt.Errorf("observer delivered %d, monitor saw %d", snap.Delivered, len(resObs.Mon.Records))
+				}
+				if snap.ProbeDequeues != int64(len(trObs.Deq)) {
+					return fmt.Errorf("probe dequeues %d, trace has %d", snap.ProbeDequeues, len(trObs.Deq))
+				}
+				return nil
+			})
+			if seed, err := FirstFailure(errs); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}
+
+// TestMatrixStats exercises the per-shard aggregation: counters must be
+// exact and shard totals must cover every seed, whatever the stealing
+// order was.
+func TestMatrixStats(t *testing.T) {
+	errs, st := RunMatrixStats(100, 4, func(seed int64) error {
+		switch {
+		case seed%10 == 3:
+			return fmt.Errorf("seed %d fails", seed)
+		case seed == 77:
+			panic("boom")
+		}
+		return nil
+	})
+	if len(errs) != 100 || st.Seeds != 100 {
+		t.Fatalf("seeds = %d, errs = %d", st.Seeds, len(errs))
+	}
+	if st.Failures != 11 || st.Panics != 1 {
+		t.Errorf("failures = %d panics = %d, want 11 and 1", st.Failures, st.Panics)
+	}
+	if st.Workers != 4 || len(st.SeedsPerShard) != 4 {
+		t.Fatalf("workers = %d shards = %d", st.Workers, len(st.SeedsPerShard))
+	}
+	sum := 0
+	for _, n := range st.SeedsPerShard {
+		sum += n
+	}
+	if sum != 100 {
+		t.Errorf("shard seeds sum to %d, want 100", sum)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/schedtest"
 	"repro/internal/server"
+	"repro/internal/sim"
 )
 
 // Stamp records one scheduler operation: the packet and the scheduler
@@ -61,6 +62,13 @@ func (r *recorder) Dequeue(now float64) (*sched.Packet, bool) {
 // arrivals on a link served by proc, and returns the trace plus the
 // simulator artifacts. A nil proc means a constant-rate server at w.C.
 func Run(sch sched.Interface, w Workload, proc server.Process) (*Trace, *schedtest.Result, error) {
+	return RunWith(sch, w, proc, nil)
+}
+
+// RunWith is Run with a pre-run link hook (see schedtest.DriveWith): the
+// probe-transparency suite attaches an observer through it and requires
+// the instrumented replay to match the bare one bit for bit.
+func RunWith(sch sched.Interface, w Workload, proc server.Process, setup func(*sim.Link)) (*Trace, *schedtest.Result, error) {
 	for _, f := range w.Flows {
 		if err := sch.AddFlow(f.Flow, f.Weight); err != nil {
 			return nil, nil, err
@@ -70,6 +78,6 @@ func Run(sch sched.Interface, w Workload, proc server.Process) (*Trace, *schedte
 		proc = server.NewConstantRate(w.C)
 	}
 	rec, tr := Record(sch)
-	res := schedtest.Drive(rec, proc, w.Arrivals)
+	res := schedtest.DriveWith(rec, proc, w.Arrivals, setup)
 	return tr, res, nil
 }

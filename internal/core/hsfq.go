@@ -92,6 +92,12 @@ func NewHSFQ() *HSFQ {
 // Root returns the root class.
 func (h *HSFQ) Root() *Class { return h.root }
 
+// V returns the root class's system virtual time — the v(t) of the SFQ
+// instance that schedules the link itself. Per-class virtual times of the
+// interior nodes evolve independently (§3). Exposed for probes
+// (sched.VirtualTimer).
+func (h *HSFQ) V() float64 { return h.root.v }
+
 // NewClass creates an interior class under parent (nil means root) with the
 // given share weight.
 func (h *HSFQ) NewClass(parent *Class, name string, weight float64) (*Class, error) {

@@ -24,18 +24,20 @@ import (
 	"repro/internal/sched"
 )
 
-// TieBreak selects the order of packets whose start tags are equal.
-type TieBreak int
+// TieBreak selects the order of packets whose start tags are equal. The
+// definition lives in internal/sched (it is part of the shared scheduler
+// Config); the alias keeps core.TieFIFO / core.TieLowWeightFirst working.
+type TieBreak = sched.TieBreak
 
 // Tie-breaking rules (Section 2.3: "ties are broken arbitrarily; some tie
 // breaking rules may be more desirable than others").
 const (
 	// TieFIFO breaks ties in arrival order (the default).
-	TieFIFO TieBreak = iota
+	TieFIFO = sched.TieFIFO
 	// TieLowWeightFirst prefers the packet whose effective rate is
 	// smaller, giving interactive low-throughput flows lower average
 	// delay as suggested in Section 2.3.
-	TieLowWeightFirst
+	TieLowWeightFirst = sched.TieLowWeightFirst
 )
 
 // SFQ is a Start-time Fair Queuing scheduler. It implements

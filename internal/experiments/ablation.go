@@ -93,11 +93,13 @@ func AblationWFQClock(seed int64) *Result {
 		name string
 		mk   func() sched.Interface
 	}{
-		{"WFQ@assumed", func() sched.Interface { return sched.NewWFQ(c) }},
-		{"WFQ@mean", func() sched.Interface { return sched.NewWFQ(mean) }},
-		{"WFQ@half-mean", func() sched.Interface { return sched.NewWFQ(mean / 2) }},
+		{"WFQ@assumed", func() sched.Interface { return sched.MustNew("wfq", sched.WithAssumedCapacity(c)) }},
+		{"WFQ@mean", func() sched.Interface { return sched.MustNew("wfq", sched.WithAssumedCapacity(mean)) }},
+		{"WFQ@half-mean", func() sched.Interface { return sched.MustNew("wfq", sched.WithAssumedCapacity(mean/2)) }},
+		// The oracle-rate variant takes a rate *function* — outside the
+		// registry's Config surface, so it stays on the direct constructor.
 		{"WFQ@oracle", func() sched.Interface { return sched.NewWFQOracle(oracleRate, 1e-3) }},
-		{"SFQ", func() sched.Interface { return core.New() }},
+		{"SFQ", func() sched.Interface { return sched.MustNew("sfq") }},
 	}
 	for _, tc := range cases {
 		s := tc.mk()

@@ -52,7 +52,7 @@ func Residual(seed int64) *Result {
 
 	sink := sim.NewSink(q)
 	link := sim.NewLink(q, "prio", prio, server.NewConstantRate(c), sink)
-	mon := sim.Attach(link)
+	mon := sim.MonitorAll(link)
 
 	// High-priority: bursty on-off traffic shaped to (σ, ρ).
 	shaper := source.NewLeakyBucket(q, link, sigma, rho)
@@ -247,7 +247,7 @@ func GenRate(seed int64) *Result {
 	q := &eventq.Queue{}
 	sink := sim.NewSink(q)
 	link := sim.NewLink(q, "gen", s, server.NewConstantRate(c), sink)
-	mon := sim.Attach(link)
+	mon := sim.MonitorAll(link)
 
 	// Video: a frame every 1/24 s whose size swings ×4; packets get
 	// rate proportional to their size so each frame's virtual-time

@@ -110,7 +110,7 @@ func runFig2b(cfg Fig2bConfig, schedName string, nLow int, duration float64) flo
 	}
 	sink := sim.NewSink(q)
 	link := sim.NewLink(q, "link", s, server.NewConstantRate(c), sink)
-	mon := sim.Attach(link)
+	mon := sim.MonitorAll(link)
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	flow := 1

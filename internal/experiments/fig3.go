@@ -93,7 +93,7 @@ func runFig3(cfg Fig3Config) ([]Fig3Point, []fig3Phase) {
 	proc := server.NewMarkovModulated(
 		[]float64{0.75 * meanRate, meanRate, 1.25 * meanRate}, 0.05, rng)
 	link := sim.NewLink(q, "atm", s, proc, sink)
-	mon := sim.Attach(link)
+	mon := sim.MonitorAll(link)
 
 	done := map[int]float64{} // flow -> completion time
 	var bulks []*source.Bulk

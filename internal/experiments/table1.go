@@ -38,13 +38,15 @@ func Table1(seed int64) *Result {
 		mk      func() sched.Interface
 		analytH float64 // analytic fairness bound for this configuration
 	}
+	// Schedulers come from the sched registry (the same construction path
+	// the CLIs use); the row labels are the paper's algorithm names.
 	algos := []algo{
-		{"WFQ", func() sched.Interface { return sched.NewWFQ(c) }, 2 * qos.FairnessLowerBound(lmax, rf, lmax, rm)},
-		{"FQS", func() sched.Interface { return sched.NewFQS(c) }, 2 * qos.FairnessLowerBound(lmax, rf, lmax, rm)},
-		{"SCFQ", func() sched.Interface { return sched.NewSCFQ() }, qos.SCFQFairnessBound(lmax, rf, lmax, rm)},
-		{"DRR", func() sched.Interface { return sched.NewDRR(drrQ) }, drrBound},
-		{"SFQ", func() sched.Interface { return core.New() }, qos.SFQFairnessBound(lmax, rf, lmax, rm)},
-		{"FA", func() sched.Interface { return sched.NewFairAirport() }, qos.FAFairnessBound(c, lmax, rf, lmax, rm, lmax)},
+		{"WFQ", func() sched.Interface { return sched.MustNew("wfq", sched.WithAssumedCapacity(c)) }, 2 * qos.FairnessLowerBound(lmax, rf, lmax, rm)},
+		{"FQS", func() sched.Interface { return sched.MustNew("fqs", sched.WithAssumedCapacity(c)) }, 2 * qos.FairnessLowerBound(lmax, rf, lmax, rm)},
+		{"SCFQ", func() sched.Interface { return sched.MustNew("scfq") }, qos.SCFQFairnessBound(lmax, rf, lmax, rm)},
+		{"DRR", func() sched.Interface { return sched.MustNew("drr", sched.WithQuantum(drrQ)) }, drrBound},
+		{"SFQ", func() sched.Interface { return sched.MustNew("sfq") }, qos.SFQFairnessBound(lmax, rf, lmax, rm)},
+		{"FA", func() sched.Interface { return sched.MustNew("fairairport") }, qos.FAFairnessBound(c, lmax, rf, lmax, rm, lmax)},
 	}
 
 	flows := []schedtest.FlowSpec{

@@ -115,8 +115,10 @@ func dedup(xs []float64) []float64 {
 }
 
 // MonitorUnfairness computes H(f,m) from a monitor and the flow weights.
+// For a capped monitor that wrapped, the measure covers the retained
+// (newest) record window in chronological order.
 func MonitorUnfairness(mon *sim.Monitor, f, m int, rf, rm float64) float64 {
-	return MaxUnfairness(mon.Records, mon.BackloggedIntervals(f), mon.BackloggedIntervals(m), f, m, rf, rm)
+	return MaxUnfairness(mon.ServiceRecords(), mon.BackloggedIntervals(f), mon.BackloggedIntervals(m), f, m, rf, rm)
 }
 
 // NormalizedThroughput returns W_f(t1,t2)/r_f computed from service

@@ -32,24 +32,41 @@ type Lossy struct {
 	dropsFlow  map[int]int64
 }
 
-// NewLossy returns a lossy shim in front of next.
+// NewLossy returns a lossy shim already wired in front of next.
 func NewLossy(rng *rand.Rand, next sim.Consumer, pLoss, pCorrupt float64) *Lossy {
-	if rng == nil || next == nil {
-		panic("faults: NewLossy requires an rng and a downstream consumer")
+	if next == nil {
+		panic("faults: NewLossy requires a downstream consumer")
+	}
+	l := NewLossyStage(rng, pLoss, pCorrupt)
+	l.next = next
+	return l
+}
+
+// NewLossyStage returns an unwired lossy shim: a sim.Wrapper for use with
+// sim.Chain, which calls SetNext.
+func NewLossyStage(rng *rand.Rand, pLoss, pCorrupt float64) *Lossy {
+	if rng == nil {
+		panic("faults: NewLossyStage requires an rng")
 	}
 	if pLoss < 0 || pCorrupt < 0 || pLoss+pCorrupt > 1 {
 		panic("faults: loss and corruption probabilities must be in [0,1] and sum to at most 1")
 	}
 	return &Lossy{
 		PLoss: pLoss, PCorrupt: pCorrupt,
-		rng: rng, next: next,
+		rng:        rng,
 		dropsCause: make(map[sim.DropCause]int64),
 		dropsFlow:  make(map[int]int64),
 	}
 }
 
+// SetNext wires the downstream consumer (the sim.Wrapper contract).
+func (l *Lossy) SetNext(next sim.Consumer) { l.next = next }
+
 // Deliver passes f downstream, loses it, or corrupts it.
 func (l *Lossy) Deliver(f *sim.Frame) {
+	if l.next == nil {
+		panic("faults: Lossy.Deliver before SetNext (wire it via sim.Chain or NewLossy)")
+	}
 	u := l.rng.Float64() // exactly one draw per frame
 	switch {
 	case u < l.PLoss:

@@ -1,0 +1,73 @@
+package obs_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// steadyLink wires an SFQ link whose frames can be recycled by the caller:
+// one flow, constant-rate server, zero propagation, so delivering a frame
+// and stepping the queue once returns that same frame to the sink.
+func steadyLink(t *testing.T) (*eventq.Queue, *sim.Link) {
+	t.Helper()
+	q := &eventq.Queue{}
+	sch := core.New()
+	if err := sch.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	return q, sim.NewLink(q, "alloc", sch, server.NewConstantRate(1e6), sim.NewSink(q))
+}
+
+// steadyState runs one deliver/transmit cycle with a single reused frame.
+func steadyState(q *eventq.Queue, l *sim.Link, f *sim.Frame) {
+	l.Deliver(f)
+	q.Step() // fire the transmission-complete event
+}
+
+// TestLinkSteadyStateZeroAlloc pins the PR 3 guarantee the observability
+// layer must not disturb: a link with no probe and no hooks allocates
+// nothing per frame in steady state (packet pool, event-node free list,
+// typed heaps).
+func TestLinkSteadyStateZeroAlloc(t *testing.T) {
+	q, l := steadyLink(t)
+	f := &sim.Frame{Flow: 1, Bytes: 500}
+	for i := 0; i < 64; i++ { // warm the pools and maps
+		steadyState(q, l, f)
+	}
+	if !l.PoolActive() {
+		t.Fatal("packet pool inactive on SFQ link")
+	}
+	allocs := testing.AllocsPerRun(256, func() { steadyState(q, l, f) })
+	if allocs != 0 {
+		t.Errorf("unprobed link: %.1f allocs per frame, want 0", allocs)
+	}
+}
+
+// TestObservedLinkSteadyStateZeroAlloc checks the attached-observer path
+// stays off the allocator too once warm: counters and gauges are in-place,
+// the trace ring overwrites its preallocated buffer, and the arrival map
+// reuses cells freed by departures. Attaching observability to a long run
+// must cost CPU only, never growing memory.
+func TestObservedLinkSteadyStateZeroAlloc(t *testing.T) {
+	q, l := steadyLink(t)
+	o := obs.Observe(l, obs.WithTraceCap(128))
+	f := &sim.Frame{Flow: 1, Bytes: 500}
+	for i := 0; i < 256; i++ { // warm pools, flow stats, and fill the ring
+		steadyState(q, l, f)
+	}
+	if !l.PoolActive() {
+		t.Fatal("packet pool inactive with observer attached")
+	}
+	allocs := testing.AllocsPerRun(256, func() { steadyState(q, l, f) })
+	if allocs != 0 {
+		t.Errorf("observed link: %.1f allocs per frame, want 0", allocs)
+	}
+	if o.Trace().Overwritten() == 0 {
+		t.Error("trace ring never wrapped; steady state not reached")
+	}
+}

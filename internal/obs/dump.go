@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/eventq"
+)
+
+// dumpState carries a running PeriodicDump through its events (pointer
+// arg keeps the eventq AtCall path allocation-free per firing).
+type dumpState struct {
+	q        *eventq.Queue
+	w        io.Writer
+	reg      *Registry
+	interval float64
+	n        int64
+}
+
+// PeriodicDump schedules an expvar-style metrics dump every interval
+// seconds of simulated time: each firing writes one indented-JSON
+// registry snapshot to w, preceded by a "# dump N t=..." comment line.
+//
+// The dump reschedules itself only while other events remain pending, so
+// q.Run() still terminates: the last dump fires at the first interval
+// boundary at or after the simulation's final event. (A dump alone in the
+// queue would otherwise self-perpetuate forever.)
+func PeriodicDump(q *eventq.Queue, w io.Writer, reg *Registry, interval float64) {
+	if interval <= 0 {
+		panic("obs: PeriodicDump requires a positive interval")
+	}
+	d := &dumpState{q: q, w: w, reg: reg, interval: interval}
+	q.AfterCall(interval, dumpFire, d)
+}
+
+func dumpFire(arg any) {
+	d := arg.(*dumpState)
+	d.n++
+	fmt.Fprintf(d.w, "# dump %d t=%.9f\n", d.n, d.q.Now())
+	if err := d.reg.WriteJSON(d.w); err != nil {
+		fmt.Fprintf(d.w, "# dump error: %v\n", err)
+		return
+	}
+	if d.q.Len() > 0 {
+		d.q.AfterCall(d.interval, dumpFire, d)
+	}
+}

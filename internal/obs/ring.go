@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// EventKind tags a trace-ring record.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	// EvArrive: the link accepted a frame into its queue.
+	EvArrive EventKind = iota
+	// EvDepart: a frame finished transmission.
+	EvDepart
+	// EvDrop: a frame was dropped, with Cause set.
+	EvDrop
+)
+
+// String returns the CSV/JSON token of the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvArrive:
+		return "arrive"
+	case EvDepart:
+		return "depart"
+	case EvDrop:
+		return "drop"
+	}
+	return "unknown"
+}
+
+// Event is one trace-ring record. Values are copied out of the frame at
+// hook time — the ring never retains frame or packet pointers, so it
+// composes with the link's packet pooling.
+type Event struct {
+	Time  float64 // event time (for departs: end of transmission)
+	Kind  EventKind
+	Flow  int
+	Seq   int64
+	Bytes float64
+	Cause sim.DropCause // drops only, "" otherwise
+}
+
+// TraceRing is a fixed-capacity ring of link events: the bounded
+// replacement for accumulating per-packet slices. It keeps the newest
+// Cap() events and counts what it displaced, so a live dump is explicit
+// about being a window, not a full history.
+type TraceRing = ring.Ring[Event]
+
+// DefaultTraceCap is the trace-ring capacity used when an Observer is
+// built without WithTraceCap: 4096 events ≈ the tail of a run, at a fixed
+// ~200 KiB.
+const DefaultTraceCap = 4096
+
+// NewTraceRing returns an empty trace ring holding up to capacity events.
+func NewTraceRing(capacity int) *TraceRing { return ring.New[Event](capacity) }

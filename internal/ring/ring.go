@@ -1,0 +1,93 @@
+// Package ring provides a fixed-capacity overwrite ring buffer. It is the
+// storage discipline of the observability layer: bounded memory no matter
+// how long a run lasts, newest entries win, and the number of overwritten
+// entries is accounted so consumers know the window is partial.
+//
+// The buffer is allocated once at construction; Push never allocates, which
+// keeps probe-driven tracing off the allocator on the simulator hot path.
+// It is not safe for concurrent use — like the rest of the simulator it
+// lives in a single event-queue domain.
+package ring
+
+// Ring is a fixed-capacity ring of T keeping the most recent Cap() values.
+type Ring[T any] struct {
+	buf         []T
+	start       int // index of the oldest element
+	n           int // elements currently held
+	overwritten int64
+}
+
+// New returns a ring holding at most capacity elements. capacity must be
+// positive.
+func New[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic("ring: capacity must be positive")
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Push appends v, overwriting the oldest element when full.
+func (r *Ring[T]) Push(v T) {
+	if r.n < len(r.buf) {
+		i := r.start + r.n
+		if i >= len(r.buf) {
+			i -= len(r.buf)
+		}
+		r.buf[i] = v
+		r.n++
+		return
+	}
+	r.buf[r.start] = v
+	r.start++
+	if r.start == len(r.buf) {
+		r.start = 0
+	}
+	r.overwritten++
+}
+
+// Len returns the number of elements currently held.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap returns the fixed capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Overwritten returns how many elements have been displaced by Push since
+// construction (or the last Reset).
+func (r *Ring[T]) Overwritten() int64 { return r.overwritten }
+
+// At returns the i-th element in chronological order (0 = oldest held).
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("ring: index out of range")
+	}
+	j := r.start + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return r.buf[j]
+}
+
+// Do calls fn on every held element in chronological order.
+func (r *Ring[T]) Do(fn func(T)) {
+	for i := 0; i < r.n; i++ {
+		fn(r.At(i))
+	}
+}
+
+// Slice returns the held elements in chronological order as a fresh slice.
+func (r *Ring[T]) Slice() []T {
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.At(i)
+	}
+	return out
+}
+
+// Reset empties the ring (capacity and backing array are kept).
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := range r.buf {
+		r.buf[i] = zero
+	}
+	r.start, r.n, r.overwritten = 0, 0, 0
+}

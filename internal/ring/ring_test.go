@@ -1,0 +1,69 @@
+package ring_test
+
+import (
+	"testing"
+
+	"repro/internal/ring"
+)
+
+func TestRingFillAndWrap(t *testing.T) {
+	r := ring.New[int](4)
+	if r.Cap() != 4 || r.Len() != 0 {
+		t.Fatalf("fresh ring: cap %d len %d", r.Cap(), r.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		r.Push(i)
+	}
+	if got := r.Slice(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("partial fill: %v", got)
+	}
+	if r.Overwritten() != 0 {
+		t.Fatalf("overwritten before wrap: %d", r.Overwritten())
+	}
+	for i := 4; i <= 10; i++ {
+		r.Push(i)
+	}
+	if got := r.Slice(); len(got) != 4 || got[0] != 7 || got[3] != 10 {
+		t.Fatalf("after wrap: %v", got)
+	}
+	if r.Overwritten() != 6 {
+		t.Fatalf("overwritten = %d, want 6", r.Overwritten())
+	}
+	if r.At(1) != 8 {
+		t.Fatalf("At(1) = %d, want 8", r.At(1))
+	}
+	sum := 0
+	r.Do(func(v int) { sum += v })
+	if sum != 7+8+9+10 {
+		t.Fatalf("Do sum = %d", sum)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Overwritten() != 0 {
+		t.Fatalf("reset: len %d overwritten %d", r.Len(), r.Overwritten())
+	}
+	r.Push(42)
+	if r.At(0) != 42 {
+		t.Fatalf("push after reset: %d", r.At(0))
+	}
+}
+
+func TestRingPushZeroAlloc(t *testing.T) {
+	r := ring.New[[3]float64](128)
+	i := 0.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Push([3]float64{i, i + 1, i + 2})
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Push allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestRingBadIndexAndCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	ring.New[int](0)
+}

@@ -31,6 +31,10 @@ type drrFlow struct {
 // bytes of credit a flow of weight 1 receives per round; a flow of weight w
 // receives w × quantumPerUnitWeight. For O(1) behaviour choose it so every
 // flow's quantum is at least its maximum packet size.
+//
+// Deprecated: prefer New("drr", WithQuantum(q)); this wrapper remains so
+// existing call sites keep compiling (and it panics on a non-positive
+// quantum, where the registry factory returns ErrBadConfig).
 func NewDRR(quantumPerUnitWeight float64) *DRR {
 	if quantumPerUnitWeight <= 0 {
 		panic("sched: DRR quantum must be positive")

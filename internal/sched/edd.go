@@ -19,6 +19,8 @@ type EDD struct {
 }
 
 // NewEDD returns an empty Delay EDD scheduler.
+//
+// Deprecated: prefer New("edd").
 func NewEDD() *EDD {
 	return &EDD{
 		flows:    NewFlowTable(),

@@ -125,6 +125,8 @@ func (h *faRegHeap) pop() faRegEvent {
 }
 
 // NewFairAirport returns an empty Fair Airport scheduler.
+//
+// Deprecated: prefer New("fairairport").
 func NewFairAirport() *FairAirport {
 	return &FairAirport{flows: NewFlowTable(), state: make(map[int]*faFlow)}
 }

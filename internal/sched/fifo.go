@@ -11,6 +11,8 @@ type FIFO struct {
 }
 
 // NewFIFO returns an empty FIFO scheduler.
+//
+// Deprecated: prefer New("fifo").
 func NewFIFO() *FIFO { return &FIFO{flows: NewFlowTable()} }
 
 // AddFlow registers a flow. The weight is validated but unused.

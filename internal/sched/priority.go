@@ -15,6 +15,8 @@ type Priority struct {
 
 // NewPriority returns a scheduler serving levels[0] first, then levels[1],
 // and so on. At least one level is required.
+//
+// Deprecated: prefer New("priority", WithLevels(levels...)).
 func NewPriority(levels ...Interface) *Priority {
 	if len(levels) == 0 {
 		panic("sched: Priority requires at least one level")

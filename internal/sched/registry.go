@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TieBreak selects the order of packets whose start tags are equal in the
+// SFQ family (Section 2.3: "ties are broken arbitrarily; some tie breaking
+// rules may be more desirable than others"). It lives here (rather than in
+// internal/core) so the shared Config can carry it; internal/core aliases
+// it for compatibility.
+type TieBreak int
+
+// Tie-breaking rules.
+const (
+	// TieFIFO breaks ties in arrival order (the default).
+	TieFIFO TieBreak = iota
+	// TieLowWeightFirst prefers the packet whose effective rate is
+	// smaller, giving interactive low-throughput flows lower average
+	// delay as suggested in Section 2.3.
+	TieLowWeightFirst
+)
+
+// Config is the shared construction parameter set for every scheduling
+// discipline. A discipline reads the fields it cares about and ignores the
+// rest, so one options vocabulary covers the whole registry instead of the
+// former per-constructor zoo (NewWFQ(assumedCap), NewDRR(quantum), ...).
+type Config struct {
+	// AssumedCapacity is the fluid reference capacity C (bytes/s) that
+	// WFQ/FQS simulate GPS at. Required (> 0) for those disciplines; it is
+	// exactly the assumption that breaks their fairness on variable-rate
+	// links (Example 2).
+	AssumedCapacity float64
+
+	// Quantum is DRR's bytes of credit per unit weight per round. 0 means
+	// DefaultQuantum.
+	Quantum float64
+
+	// Tie is the SFQ-family tie-breaking rule.
+	Tie TieBreak
+
+	// Levels are the child schedulers of a strict-priority composition,
+	// highest priority first. Disciplines that are not compositions ignore
+	// it.
+	Levels []Interface
+}
+
+// DefaultQuantum is the DRR quantum per unit weight used when Config.Quantum
+// is zero: one Ethernet MTU, so unit-weight flows of MTU-sized packets get
+// one packet per round.
+const DefaultQuantum = 1500
+
+// Option mutates a Config. The With* helpers are the supported options.
+type Option func(*Config)
+
+// WithAssumedCapacity sets the GPS reference capacity for WFQ/FQS.
+func WithAssumedCapacity(c float64) Option { return func(cfg *Config) { cfg.AssumedCapacity = c } }
+
+// WithQuantum sets DRR's per-unit-weight quantum in bytes.
+func WithQuantum(q float64) Option { return func(cfg *Config) { cfg.Quantum = q } }
+
+// WithTieBreak sets the SFQ-family tie-breaking rule.
+func WithTieBreak(t TieBreak) Option { return func(cfg *Config) { cfg.Tie = t } }
+
+// WithLevels sets the children of a priority composition, highest first.
+func WithLevels(levels ...Interface) Option { return func(cfg *Config) { cfg.Levels = levels } }
+
+// Factory constructs a scheduler from a Config. Factories validate the
+// fields they consume and return an error (never panic) on a bad Config.
+type Factory func(Config) (Interface, error)
+
+// registry maps discipline names to factories. Guarded by a mutex only for
+// the init-time writes; lookups after init are read-only.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: make(map[string]Factory)}
+
+// Register adds a discipline under name (and optional aliases). Adding a
+// scheduler to the repository is now a one-file change: implement
+// Interface, call Register from an init function, and every consumer — the
+// conformance matrix, sfqsim, the experiments — can construct it by name.
+// Registering a duplicate name panics: it is a programming error that
+// would otherwise silently shadow a discipline.
+func Register(name string, f Factory, aliases ...string) {
+	if f == nil {
+		panic("sched: Register with nil factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	for _, n := range append([]string{name}, aliases...) {
+		if _, dup := registry.m[n]; dup {
+			panic(fmt.Sprintf("sched: duplicate scheduler registration %q", n))
+		}
+		registry.m[n] = f
+	}
+}
+
+// New constructs the named discipline with the given options applied to a
+// zero Config. The name must have been registered (internal/core registers
+// the SFQ family from its init, so callers constructing "sfq"/"hsfq"/...
+// must import internal/core, directly or transitively).
+func New(name string, opts ...Option) (Interface, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (known: %v)", name, Names())
+	}
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s, err := f(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sched: new %q: %w", name, err)
+	}
+	return s, nil
+}
+
+// MustNew is New for static configurations known to be valid; it panics on
+// error.
+func MustNew(name string, opts ...Option) Interface {
+	s, err := New(name, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns every registered name (aliases included), sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// init registers this package's disciplines. The paper's own SFQ family is
+// registered by internal/core.
+func init() {
+	Register("scfq", func(Config) (Interface, error) { return NewSCFQ(), nil })
+	Register("wfq", func(cfg Config) (Interface, error) {
+		if cfg.AssumedCapacity <= 0 {
+			return nil, fmt.Errorf("%w: wfq requires WithAssumedCapacity > 0", ErrBadConfig)
+		}
+		return NewWFQ(cfg.AssumedCapacity), nil
+	})
+	Register("fqs", func(cfg Config) (Interface, error) {
+		if cfg.AssumedCapacity <= 0 {
+			return nil, fmt.Errorf("%w: fqs requires WithAssumedCapacity > 0", ErrBadConfig)
+		}
+		return NewFQS(cfg.AssumedCapacity), nil
+	})
+	Register("drr", func(cfg Config) (Interface, error) {
+		q := cfg.Quantum
+		if q == 0 {
+			q = DefaultQuantum
+		}
+		if q <= 0 {
+			return nil, fmt.Errorf("%w: drr quantum %v must be positive", ErrBadConfig, q)
+		}
+		return NewDRR(q), nil
+	})
+	Register("vclock", func(Config) (Interface, error) { return NewVirtualClock(), nil }, "vc")
+	Register("edd", func(Config) (Interface, error) { return NewEDD(), nil })
+	Register("fifo", func(Config) (Interface, error) { return NewFIFO(), nil })
+	Register("fairairport", func(Config) (Interface, error) { return NewFairAirport(), nil }, "fa")
+	Register("priority", func(cfg Config) (Interface, error) {
+		if len(cfg.Levels) == 0 {
+			return nil, fmt.Errorf("%w: priority requires WithLevels", ErrBadConfig)
+		}
+		return NewPriority(cfg.Levels...), nil
+	})
+	Register("priority-scfq", func(Config) (Interface, error) {
+		return NewPriority(NewSCFQ()), nil
+	})
+}

@@ -19,6 +19,8 @@ type SCFQ struct {
 }
 
 // NewSCFQ returns an empty SCFQ scheduler.
+//
+// Deprecated: prefer New("scfq").
 func NewSCFQ() *SCFQ {
 	return &SCFQ{flows: NewFlowTable(), lastFinish: make(map[int]float64)}
 }

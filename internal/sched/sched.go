@@ -76,6 +76,7 @@ var (
 	ErrBadWeight    = errors.New("sched: weight must be positive")
 	ErrBadPacket    = errors.New("sched: packet length must be positive")
 	ErrTimeWentBack = errors.New("sched: time went backwards")
+	ErrBadConfig    = errors.New("sched: bad scheduler config")
 )
 
 // FlowTable is the flow registry shared by the schedulers in this

@@ -20,6 +20,8 @@ type VirtualClock struct {
 }
 
 // NewVirtualClock returns an empty Virtual Clock scheduler.
+//
+// Deprecated: prefer New("vclock").
 func NewVirtualClock() *VirtualClock {
 	return &VirtualClock{flows: NewFlowTable(), eatNext: make(map[int]float64)}
 }

@@ -153,6 +153,10 @@ type WFQ struct {
 }
 
 // NewWFQ returns a WFQ scheduler emulating GPS at assumedCap bytes/s.
+//
+// Deprecated: prefer New("wfq", WithAssumedCapacity(assumedCap)); this
+// wrapper remains so existing call sites keep compiling (and it panics on a
+// non-positive capacity, where the registry factory returns ErrBadConfig).
 func NewWFQ(assumedCap float64) *WFQ {
 	if assumedCap <= 0 {
 		panic("sched: WFQ assumed capacity must be positive")
@@ -163,6 +167,8 @@ func NewWFQ(assumedCap float64) *WFQ {
 
 // NewFQS returns a Fair Queuing based on Start-time scheduler [11]: WFQ's
 // virtual time, start-tag transmission order.
+//
+// Deprecated: prefer New("fqs", WithAssumedCapacity(assumedCap)).
 func NewFQS(assumedCap float64) *WFQ {
 	s := NewWFQ(assumedCap)
 	s.byStart = true

@@ -33,10 +33,22 @@ type Result struct {
 // proc, runs the event queue to completion, and returns the monitors.
 // Flows must already be registered on sch.
 func Drive(sch sched.Interface, proc server.Process, arrivals []Arrival) *Result {
+	return DriveWith(sch, proc, arrivals, nil)
+}
+
+// DriveWith is Drive with a pre-run hook: setup (if non-nil) runs on the
+// freshly wired link before any arrival is scheduled, so callers can
+// attach instrumentation — a scheduler probe, an obs.Observer — to an
+// otherwise identical run. The probe-transparency conformance tests use
+// it to compare instrumented and bare replays of the same workload.
+func DriveWith(sch sched.Interface, proc server.Process, arrivals []Arrival, setup func(*sim.Link)) *Result {
 	q := &eventq.Queue{}
 	sink := sim.NewSink(q)
 	link := sim.NewLink(q, "test", sch, proc, sink)
-	mon := sim.Attach(link)
+	mon := sim.MonitorAll(link)
+	if setup != nil {
+		setup(link)
+	}
 	for _, a := range arrivals {
 		a := a
 		q.At(a.At, func() {

@@ -1,0 +1,62 @@
+package sim
+
+// Wrapper is a Consumer stage that forwards frames to a downstream
+// consumer: the composable middle of a delivery pipeline. faults.Lossy and
+// Tap are Wrappers; a Sink or a transport endpoint is the terminal
+// Consumer. Observers that need the link's scheduler-side events (Monitor,
+// the obs package) attach to the link's hook chain instead — the two
+// composition axes meet at the link: hooks observe what the link does,
+// wrappers transform what it delivers.
+type Wrapper interface {
+	Consumer
+
+	// SetNext wires the downstream consumer. Chain calls it exactly once
+	// per stage; a Wrapper whose next is unset must panic on Deliver
+	// rather than silently drop frames.
+	SetNext(Consumer)
+}
+
+// Chain wires stages into a delivery pipeline ending at final and returns
+// its head: frames given to the head pass through the stages in order,
+// then reach final. With no stages it returns final itself, so callers can
+// build conditional pipelines without special cases:
+//
+//	out := sim.Chain(sink, shims...) // shims may be empty
+//	link := sim.NewLink(q, "l", sch, proc, out)
+func Chain(final Consumer, stages ...Wrapper) Consumer {
+	if final == nil {
+		panic("sim: Chain requires a final consumer")
+	}
+	next := final
+	for i := len(stages) - 1; i >= 0; i-- {
+		if stages[i] == nil {
+			panic("sim: Chain stage is nil")
+		}
+		stages[i].SetNext(next)
+		next = stages[i]
+	}
+	return next
+}
+
+// Tap is a Wrapper that observes every frame and forwards it unchanged —
+// the consumer-side counterpart of a link hook. The obs package uses it to
+// count sink-side deliveries without replacing the terminal consumer.
+type Tap struct {
+	fn   func(*Frame)
+	next Consumer
+}
+
+// NewTap returns a Tap invoking fn on every frame. fn may be nil (the tap
+// then only forwards), so a Tap can also serve as a named pass-through.
+func NewTap(fn func(*Frame)) *Tap { return &Tap{fn: fn} }
+
+// SetNext wires the downstream consumer.
+func (t *Tap) SetNext(c Consumer) { t.next = c }
+
+// Deliver observes f and forwards it.
+func (t *Tap) Deliver(f *Frame) {
+	if t.fn != nil {
+		t.fn(f)
+	}
+	t.next.Deliver(f)
+}

@@ -17,13 +17,29 @@ type ServiceRecord struct {
 // Interval is a closed time interval.
 type Interval struct{ Start, End float64 }
 
+// DefaultRecordCap bounds the per-packet service records a Monitor from
+// Attach keeps: the newest DefaultRecordCap transmissions, ring-style. At
+// 32 bytes per record this caps monitor growth at ~2 MiB per link no
+// matter how long the run is. Replay-exact consumers (the conformance
+// checkers, the golden experiments) use MonitorAll instead.
+const DefaultRecordCap = 1 << 16
+
 // Monitor observes one link: per-flow cumulative service curves, exact
 // backlogged intervals (needed by the fairness measure), and queueing /
 // end-to-end delay samples.
 type Monitor struct {
 	link *Link
 
+	// Records holds the completed transmissions. While fewer than the
+	// record cap have completed (always, for a MonitorAll monitor) it is
+	// chronological and may be indexed directly; once a capped monitor
+	// wraps, use ServiceRecords for the ordered window and
+	// TruncatedRecords for how many were displaced.
 	Records []ServiceRecord
+
+	recordCap int   // 0 = unbounded
+	recStart  int   // index of the oldest record once wrapped
+	truncated int64 // records displaced by the cap
 
 	// outstanding counts queued + in-service packets per flow; a flow is
 	// backlogged exactly while outstanding > 0.
@@ -45,11 +61,26 @@ type Monitor struct {
 	sawService bool
 }
 
-// Attach installs a monitor on l. It takes over the link's OnEnqueue and
-// OnDepart hooks (chaining with any hooks already installed).
-func Attach(l *Link) *Monitor {
+// Attach installs a monitor on l with the DefaultRecordCap bound on
+// per-packet records. It takes over the link's OnEnqueue and OnDepart
+// hooks (chaining with any hooks already installed). Aggregate statistics
+// (service curves, delay samples, backlog intervals) are unaffected by the
+// cap — only the per-transmission record window is bounded.
+func Attach(l *Link) *Monitor { return AttachN(l, DefaultRecordCap) }
+
+// MonitorAll installs a monitor that keeps every service record — the
+// escape hatch for replay-exact consumers (conformance differential
+// checkers, golden experiments) whose audits must see each transmission.
+// Memory then grows with packets sent, which is exactly what Attach's cap
+// exists to avoid on long runs.
+func MonitorAll(l *Link) *Monitor { return AttachN(l, 0) }
+
+// AttachN installs a monitor keeping at most recordCap service records
+// (0 = unbounded).
+func AttachN(l *Link, recordCap int) *Monitor {
 	m := &Monitor{
 		link:        l,
+		recordCap:   recordCap,
 		outstanding: make(map[int]int),
 		openedAt:    make(map[int]float64),
 		intervals:   make(map[int][]Interval),
@@ -106,7 +137,19 @@ func (m *Monitor) onEnqueue(f *Frame, now float64) {
 }
 
 func (m *Monitor) onDepart(f *Frame, start, end float64) {
-	m.Records = append(m.Records, ServiceRecord{Flow: f.Flow, Start: start, End: end, Bytes: f.Bytes})
+	rec := ServiceRecord{Flow: f.Flow, Start: start, End: end, Bytes: f.Bytes}
+	if m.recordCap > 0 && len(m.Records) == m.recordCap {
+		// Ring semantics: overwrite the oldest record in place, keeping
+		// memory fixed on arbitrarily long runs.
+		m.Records[m.recStart] = rec
+		m.recStart++
+		if m.recStart == m.recordCap {
+			m.recStart = 0
+		}
+		m.truncated++
+	} else {
+		m.Records = append(m.Records, rec)
+	}
 	m.outstanding[f.Flow]--
 	if m.outstanding[f.Flow] == 0 {
 		m.intervals[f.Flow] = append(m.intervals[f.Flow],
@@ -143,6 +186,26 @@ func (m *Monitor) sample(mm map[int]*stats.Sample, flow int) *stats.Sample {
 	}
 	return s
 }
+
+// ServiceRecords returns the retained service records in chronological
+// order. For an unwrapped (or unbounded) monitor it returns Records
+// itself, allocation-free; once a capped monitor wraps it returns a fresh
+// ordered copy of the window.
+func (m *Monitor) ServiceRecords() []ServiceRecord {
+	if m.recStart == 0 {
+		return m.Records
+	}
+	out := make([]ServiceRecord, 0, len(m.Records))
+	out = append(out, m.Records[m.recStart:]...)
+	return append(out, m.Records[:m.recStart]...)
+}
+
+// TruncatedRecords returns how many service records the cap displaced (0
+// for MonitorAll monitors).
+func (m *Monitor) TruncatedRecords() int64 { return m.truncated }
+
+// RecordCap returns the monitor's record bound (0 = unbounded).
+func (m *Monitor) RecordCap() int { return m.recordCap }
 
 // BackloggedIntervals returns the closed backlog intervals of flow. A still
 // open interval is closed at the current horizon (last observed departure).

@@ -72,7 +72,8 @@ func poolEquivRun(seed int64, hidePool bool) string {
 	sink := sim.ConsumerFunc(func(f *sim.Frame) {
 		out += fmt.Sprintf("rx %d/%d @%.9f\n", f.Flow, f.Seq, q.Now())
 	})
-	lossy := faults.NewLossy(rand.New(rand.NewSource(seed+1)), sink, 0.05, 0.05)
+	lossy := faults.NewLossyStage(rand.New(rand.NewSource(seed+1)), 0.05, 0.05)
+	sim.Chain(sink, lossy)
 	var s sched.Interface = sched.NewSCFQ()
 	s.AddFlow(1, 1)
 	s.AddFlow(2, 2)

@@ -129,6 +129,14 @@ type Link struct {
 	poolOK      bool
 	poolChecked bool
 
+	// Scheduler probe (may be nil): invoked around the scheduler calls so
+	// tag assignment and virtual-time evolution are observable live. A nil
+	// probe costs one branch per operation — the zero-alloc hot path is
+	// unchanged. The virtual timer is sampled lazily like pool safety.
+	probe     sched.Probe
+	vtimer    sched.VirtualTimer
+	vtChecked bool
+
 	// evFree recycles the per-transmission event nodes so the completion
 	// and propagation events allocate nothing in steady state.
 	evFree []*linkEvent
@@ -181,6 +189,37 @@ func NewLink(q *eventq.Queue, name string, sch sched.Interface, proc server.Proc
 
 // Scheduler returns the link's scheduler (for flow registration).
 func (l *Link) Scheduler() sched.Interface { return l.sched }
+
+// Now returns the current simulated time of the link's event queue, so
+// observers attached via hooks (which don't all receive a timestamp) can
+// timestamp what they see.
+func (l *Link) Now() float64 { return l.q.Now() }
+
+// SetProbe installs (or, with nil, removes) the scheduler probe. The probe
+// observes every accepted enqueue, every dequeue, and — for schedulers that
+// implement sched.VirtualTimer — the system virtual time after each
+// operation. Probes must not retain packet references (see sched.Probe);
+// packet recycling stays active while a probe is attached, and probed runs
+// are bit-identical to unprobed ones because the probe only observes.
+func (l *Link) SetProbe(p sched.Probe) {
+	l.probe = p
+	l.vtChecked = false // re-sample: the probe may be installed before wiring finished
+}
+
+// Probe returns the installed scheduler probe (nil if none).
+func (l *Link) Probe() sched.Probe { return l.probe }
+
+// probeVT reports the scheduler's virtual time to the probe, sampling
+// VirtualTimer support on first use. Called only with l.probe != nil.
+func (l *Link) probeVT(now float64) {
+	if !l.vtChecked {
+		l.vtChecked = true
+		l.vtimer, _ = l.sched.(sched.VirtualTimer)
+	}
+	if l.vtimer != nil {
+		l.probe.OnVirtualTime(now, l.vtimer.V())
+	}
+}
 
 // Drops returns the number of dropped frames.
 func (l *Link) Drops() int64 { return l.drops }
@@ -285,6 +324,10 @@ func (l *Link) Deliver(f *Frame) {
 	l.flowQBytes[f.Flow] += f.Bytes
 	l.flowQCount[f.Flow]++
 	l.queuedTotal++
+	if l.probe != nil {
+		l.probe.OnEnqueue(now, p)
+		l.probeVT(now)
+	}
 	if l.OnEnqueue != nil {
 		l.OnEnqueue(f, now)
 	}
@@ -352,6 +395,12 @@ func (l *Link) startNext() {
 		}
 		f := p.Payload.(*Frame)
 		flow, length := p.Flow, p.Length
+		if l.probe != nil {
+			// Before pooling: the probe sees the packet's final tags, then
+			// must drop its reference (the pool zeroes p on Put).
+			l.probe.OnDequeue(now, p)
+			l.probeVT(now)
+		}
 		if l.poolOK {
 			// PoolSafe: the scheduler dropped its reference on Dequeue and
 			// the link only needed Flow/Length/Payload, so the packet can

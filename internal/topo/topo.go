@@ -119,7 +119,7 @@ func Build(q *eventq.Queue, links []LinkSpec, flows []FlowSpec) (*Network, error
 		link.BufferBytes = ls.Buffer
 		n.links[ls.Name] = link
 		n.specs[ls.Name] = ls
-		n.mons[ls.Name] = sim.Attach(link)
+		n.mons[ls.Name] = sim.MonitorAll(link)
 	}
 
 	for _, fs := range flows {

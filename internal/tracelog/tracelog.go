@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -89,6 +90,60 @@ func WriteServiceRecords(w io.Writer, recs []sim.ServiceRecord) error {
 	for _, r := range recs {
 		if _, err := fmt.Fprintf(bw, "%d,%.9f,%.9f,%.3f\n", r.Flow, r.Start, r.End, r.Bytes); err != nil {
 			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTraceEvents dumps an obs trace ring as CSV, oldest first — the
+// file behind sfqsim --trace. The ring keeps only the newest events; when
+// overwritten > 0 a comment row records how many earlier events the
+// window displaced, so a truncated trace is never mistaken for a full one.
+func WriteTraceEvents(w io.Writer, r *obs.TraceRing) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time,kind,flow,seq,bytes,cause"); err != nil {
+		return err
+	}
+	if n := r.Overwritten(); n > 0 {
+		if _, err := fmt.Fprintf(bw, "# %d earlier events displaced by the trace ring\n", n); err != nil {
+			return err
+		}
+	}
+	var werr error
+	r.Do(func(e obs.Event) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%.9f,%s,%d,%d,%.3f,%s\n",
+			e.Time, e.Kind, e.Flow, e.Seq, e.Bytes, e.Cause)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// WriteFlowMetrics dumps the per-flow rows of metric snapshots as CSV —
+// one row per (link, flow), links and flows already sorted by
+// Registry.Snapshot. Delay columns are the histogram's exact aggregates
+// plus its octave-resolution p50/p99 upper bounds.
+func WriteFlowMetrics(w io.Writer, snaps []obs.Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw,
+		"link,flow,arrived_pkts,arrived_bytes,served_pkts,served_bytes,dropped_pkts,rate_Bps,hwm_bytes,delay_mean,delay_min,delay_max"); err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		for _, f := range s.Flows {
+			mean := 0.0
+			if f.Delay.Count > 0 {
+				mean = f.Delay.Sum / float64(f.Delay.Count)
+			}
+			if _, err := fmt.Fprintf(bw, "%s,%d,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%.9f,%.9f,%.9f\n",
+				s.Link, f.Flow, f.ArrivedPkts, f.ArrivedBytes, f.ServedPkts, f.ServedBytes,
+				f.DroppedPkts, f.RateBps, f.HWMBytes, mean, f.Delay.Min, f.Delay.Max); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
