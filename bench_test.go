@@ -205,6 +205,31 @@ func BenchmarkSchedulerOps(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleFlows measures the payoff of the flow-indexed core: cost
+// per enqueue/dequeue cycle as the number of backlogged flows grows to
+// 100k. The packet-level heaps this core replaced were O(log total-queued-
+// packets); FlowQ/FlowHeap make every heap operation O(log backlogged-
+// flows) and allocation-free in steady state, so these timings should grow
+// only logarithmically in B while allocs/op stays at zero (the benchdiff
+// gate enforces the latter).
+func BenchmarkScaleFlows(b *testing.B) {
+	algos := []struct {
+		name string
+		mk   func() sched.Interface
+	}{
+		{"SFQ", func() sched.Interface { return core.New() }},
+		{"WFQ", func() sched.Interface { return sched.NewWFQ(1e6) }},
+		{"SCFQ", func() sched.Interface { return sched.NewSCFQ() }},
+	}
+	for _, a := range algos {
+		for _, nf := range []int{1000, 10000, 100000} {
+			b.Run(fmt.Sprintf("%s/B=%dk", a.name, nf/1000), func(b *testing.B) {
+				benchScheduler(b, a.mk, nf)
+			})
+		}
+	}
+}
+
 // BenchmarkHSFQDepth measures hierarchical scheduling cost per tree depth.
 func BenchmarkHSFQDepth(b *testing.B) {
 	for _, depth := range []int{1, 3, 6} {

@@ -1,0 +1,107 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/schedtest"
+)
+
+// TestQueuedBytesExact is the byte-accounting audit for every registered
+// discipline: QueuedBytes must be O(1) bookkeeping (the flow-indexed core
+// and FlowTable both maintain running sums), so this test pins the part
+// that bookkeeping can get wrong — exactness. It grows one flow's backlog
+// deep enough to span several FlowQ chunks while a second flow churns,
+// asserting the per-flow byte counts match an exact running model after
+// every enqueue and dequeue, that a failed RemoveFlow perturbs nothing,
+// and that a drained flow reads exactly zero (no float residue).
+func TestQueuedBytesExact(t *testing.T) {
+	w := Workload{
+		Flows: []schedtest.FlowSpec{
+			{Flow: 1, Weight: 100, MaxBytes: 400},
+			{Flow: 2, Weight: 300, MaxBytes: 400},
+		},
+		C: 1000,
+	}
+	for _, s := range suts() {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			sch := s.make(w)
+			for _, f := range w.Flows {
+				if err := sch.AddFlow(f.Flow, f.Weight); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := map[int]float64{1: 0, 2: 0}
+			assert := func(when string) {
+				t.Helper()
+				for flow, wb := range want {
+					if got := sch.QueuedBytes(flow); got != wb {
+						t.Fatalf("%s: QueuedBytes(%d) = %v, want exactly %v", when, flow, got, wb)
+					}
+				}
+			}
+
+			// Grow a deep backlog on flow 1 (past one FlowQ chunk) with a
+			// shallow one on flow 2; lengths vary but stay float-exact.
+			now := 0.0
+			seq := int64(0)
+			for i := 0; i < 150; i++ {
+				flow := 1
+				if i%5 == 4 {
+					flow = 2
+				}
+				length := float64(64 + 8*(i%7))
+				seq++
+				p := &sched.Packet{Flow: flow, Seq: seq, Length: length, Arrival: now}
+				if err := sch.Enqueue(now, p); err != nil {
+					t.Fatalf("enqueue %d: %v", i, err)
+				}
+				want[flow] += length
+				assert("after enqueue")
+				now += 1e-4
+			}
+
+			// Removal of a backlogged flow must fail and change nothing.
+			if err := sch.RemoveFlow(1); !errors.Is(err, sched.ErrFlowBusy) {
+				t.Fatalf("RemoveFlow(backlogged) = %v, want ErrFlowBusy", err)
+			}
+			assert("after failed RemoveFlow")
+
+			// Drain completely; each pop decrements its own flow exactly.
+			for {
+				now += 1e-3
+				p, ok := sch.Dequeue(now)
+				if !ok {
+					break
+				}
+				want[p.Flow] -= p.Length
+				if want[p.Flow] < 0 {
+					t.Fatalf("flow %d over-served", p.Flow)
+				}
+				assert("after dequeue")
+			}
+			if want[1] != 0 || want[2] != 0 {
+				t.Fatalf("drain incomplete: %v bytes unaccounted", want)
+			}
+			for flow := 1; flow <= 2; flow++ {
+				if got := sch.QueuedBytes(flow); got != 0 {
+					t.Fatalf("drained QueuedBytes(%d) = %v, want exactly 0", flow, got)
+				}
+			}
+
+			// Removal after drain succeeds; a removed flow reads zero. The
+			// idle dequeue at a late time lets WFQ/FQS advance their GPS
+			// fluid past every finish time first (their busy check covers
+			// the fluid backlog, not just queued packets).
+			sch.Dequeue(now + 1e6)
+			if err := sch.RemoveFlow(1); err != nil {
+				t.Fatalf("RemoveFlow(drained) = %v", err)
+			}
+			if got := sch.QueuedBytes(1); got != 0 {
+				t.Fatalf("QueuedBytes(removed) = %v, want 0", got)
+			}
+		})
+	}
+}

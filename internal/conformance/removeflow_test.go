@@ -148,3 +148,81 @@ func TestRemoveFlowPreservesTagChain(t *testing.T) {
 		})
 	}
 }
+
+// TestRemoveFlowReAddNewWeight pins the remove → re-add-with-a-different-
+// weight path on the flow-indexed core: the re-added flow must be costed
+// with its NEW weight (finish tags span l/w_new, not l/w_old) and start a
+// fresh tag chain and a fresh FlowQ — nothing of the old registration may
+// leak through the FlowSet.Drop teardown.
+func TestRemoveFlowReAddNewWeight(t *testing.T) {
+	for name, mk := range map[string]func() sched.Interface{
+		"sfq":     func() sched.Interface { return core.New() },
+		"flowsfq": func() sched.Interface { return core.NewFlowSFQ() },
+		"scfq":    func() sched.Interface { return sched.NewSCFQ() },
+		"vclock":  func() sched.Interface { return sched.NewVirtualClock() },
+	} {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if err := s.AddFlow(1, 100); err != nil {
+				t.Fatal(err)
+			}
+			// Old registration: weight 100, so each 50-byte packet spans
+			// 50/100 = 0.5 in virtual time. Backlog past one FlowQ chunk so
+			// the drop exercises chunk release, not just map deletion.
+			const old = 70
+			for i := 0; i < old; i++ {
+				if err := s.Enqueue(0, &sched.Packet{Flow: 1, Seq: int64(i + 1), Length: 50}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < old; i++ {
+				p, ok := s.Dequeue(float64(i + 1))
+				if !ok || p.Flow != 1 || p.Seq != int64(i+1) {
+					t.Fatalf("drain %d: got %+v ok=%v, want flow 1 seq %d in FIFO order", i, p, ok, i+1)
+				}
+				if span := p.VirtualFinish - p.VirtualStart; span != 0.5 {
+					t.Fatalf("old-weight packet %d spans %v in virtual time, want 0.5", i, span)
+				}
+			}
+			s.Dequeue(old + 1) // idle dequeue ends the busy period
+			if err := s.RemoveFlow(1); err != nil {
+				t.Fatal(err)
+			}
+
+			// Re-add with QUADRUPLE the weight: the same packet length must
+			// now span 50/400 = 0.125. Any stale per-flow state — old weight,
+			// old finish tag, old queue contents — would break the exact
+			// values below.
+			if err := s.AddFlow(1, 400); err != nil {
+				t.Fatal(err)
+			}
+			pa := &sched.Packet{Flow: 1, Seq: 100, Length: 50}
+			pb := &sched.Packet{Flow: 1, Seq: 101, Length: 50}
+			if err := s.Enqueue(old+2, pa); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Enqueue(old+2, pb); err != nil {
+				t.Fatal(err)
+			}
+			if span := pa.VirtualFinish - pa.VirtualStart; span != 0.125 {
+				t.Fatalf("re-added flow costed at %v per packet, want 0.125 (new weight ignored?)", span)
+			}
+			// The chain restarts from pa's tags, chaining with the new weight.
+			if pb.VirtualStart != pa.VirtualFinish || pb.VirtualFinish != pa.VirtualFinish+0.125 {
+				t.Fatalf("re-added chain broken: pb = (%v,%v), want (%v,%v)",
+					pb.VirtualStart, pb.VirtualFinish, pa.VirtualFinish, pa.VirtualFinish+0.125)
+			}
+			// And the fresh FlowQ serves exactly the two new packets, in order.
+			if p, ok := s.Dequeue(old + 3); !ok || p != pa {
+				t.Fatalf("first post-re-add dequeue: %+v ok=%v, want pa", p, ok)
+			}
+			if p, ok := s.Dequeue(old + 4); !ok || p != pb {
+				t.Fatalf("second post-re-add dequeue: %+v ok=%v, want pb", p, ok)
+			}
+			if p, ok := s.Dequeue(old + 5); ok {
+				t.Fatalf("stale packet resurfaced after re-add: %+v", p)
+			}
+		})
+	}
+}

@@ -81,8 +81,21 @@ func (w Workload) LmaxAll() float64 {
 // and pktsPerFlow packets per flow. All randomness comes from rng, so a
 // (seed, kind, pktsPerFlow) triple names the workload exactly.
 func Random(rng *rand.Rand, kind Kind, pktsPerFlow int) Workload {
+	return randomN(rng, kind, pktsPerFlow, 2+rng.Intn(3))
+}
+
+// RandomWide generates a seeded workload with many flows (nflows of them)
+// instead of Random's 2–4. It exercises the backlogged-flow regime the
+// flow-indexed scheduling core is about: the scheduler's heap holds one
+// entry per flow, so wide workloads probe tie-breaking across many equal
+// head tags (every flow's first packet of a busy period can tie on start
+// tag) rather than deep per-flow FIFOs.
+func RandomWide(rng *rand.Rand, kind Kind, pktsPerFlow, nflows int) Workload {
+	return randomN(rng, kind, pktsPerFlow, nflows)
+}
+
+func randomN(rng *rand.Rand, kind Kind, pktsPerFlow, nf int) Workload {
 	const c = 1e4 // bytes/s; sizes below keep runs O(seconds) of sim time
-	nf := 2 + rng.Intn(3)
 	raw := make([]float64, nf)
 	sum := 0.0
 	for i := range raw {

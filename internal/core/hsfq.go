@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -38,6 +37,8 @@ type HSFQ struct {
 	last    float64
 	busy    bool // a packet is in service at the link
 	classes int  // id generator for interior nodes
+	chunks  sched.ChunkPool
+	seq     uint64 // leaf FIFO push serial (assert bookkeeping only)
 }
 
 // Class is a node in the link-sharing tree. Interior classes aggregate
@@ -63,9 +64,11 @@ type Class struct {
 	maxFinish float64
 	serialSrc uint64
 
-	// State as a leaf.
-	fifo []*sched.Packet
-	head int
+	// State as a leaf: the flow's packet FIFO, chunked over the tree's
+	// shared pool. Leaf order is pure FIFO, so the FlowQ keys are just the
+	// tree-wide push serial (which also keeps the schedassert monotonicity
+	// check meaningful).
+	fifo sched.FlowQ
 
 	// State as a delegate: a class whose internal service order is
 	// decided by its own scheduler (e.g. Delay EDD) while SFQ decides
@@ -201,6 +204,7 @@ func (h *HSFQ) RemoveFlow(flow int) error {
 	if c.active || c.queued() > 0 {
 		return fmt.Errorf("%w: %d", sched.ErrFlowBusy, flow)
 	}
+	c.fifo.Release(&h.chunks) // return the cached chunk to the pool
 	p := c.parent
 	for i, ch := range p.children {
 		if ch == c {
@@ -213,7 +217,7 @@ func (h *HSFQ) RemoveFlow(flow int) error {
 	return nil
 }
 
-func (c *Class) queued() int { return len(c.fifo) - c.head }
+func (c *Class) queued() int { return c.fifo.Len() }
 
 // Enqueue adds p to its flow's leaf and activates the path to the root as
 // needed, assigning start tags per eq (4) at each newly activated level.
@@ -234,7 +238,8 @@ func (h *HSFQ) Enqueue(now float64, p *Packet) error {
 			return err
 		}
 	} else {
-		leaf.fifo = append(leaf.fifo, p)
+		h.seq++
+		leaf.fifo.Push(&h.chunks, 0, 0, h.seq, p)
 	}
 	h.bytes[p.Flow] += p.Length
 	h.total++
@@ -272,7 +277,7 @@ func (h *HSFQ) Dequeue(now float64) (*Packet, bool) {
 		return nil, false
 	}
 	h.busy = true
-	p := h.root.dequeue(now)
+	p := h.root.dequeue(now, &h.chunks)
 	h.bytes[p.Flow] -= p.Length
 	if leaf := h.leaves[p.Flow]; leaf != nil && !leaf.hasContent() {
 		h.bytes[p.Flow] = 0 // exact zero for emptiness checks
@@ -294,7 +299,7 @@ func (c *Class) hasContent() bool {
 }
 
 // dequeue pops the next packet from an interior node's subtree.
-func (n *Class) dequeue(now float64) *Packet {
+func (n *Class) dequeue(now float64, chunks *sched.ChunkPool) *Packet {
 	c := n.childHeap.min()
 
 	// v(t) at this node is the start tag of the child logical packet in
@@ -304,13 +309,7 @@ func (n *Class) dequeue(now float64) *Packet {
 	var p *Packet
 	switch {
 	case c.leaf:
-		p = c.fifo[c.head]
-		c.fifo[c.head] = nil
-		c.head++
-		if c.head == len(c.fifo) {
-			c.fifo = c.fifo[:0]
-			c.head = 0
-		}
+		p = c.fifo.Pop(chunks)
 	case c.inner != nil:
 		var ok bool
 		p, ok = c.inner.Dequeue(now)
@@ -318,7 +317,7 @@ func (n *Class) dequeue(now float64) *Packet {
 			panic("core: active delegate class has no packet")
 		}
 	default:
-		p = c.dequeue(now)
+		p = c.dequeue(now, chunks)
 	}
 
 	finish := c.curStart + p.Length/c.weight
@@ -351,41 +350,88 @@ func (h *HSFQ) Len() int { return h.total }
 // QueuedBytes returns the bytes queued for flow.
 func (h *HSFQ) QueuedBytes(flow int) float64 { return h.bytes[flow] }
 
-// childHeap is a min-heap of active children ordered by start tag with
-// FIFO tie-breaking.
+// childHeap is a hand-rolled indexed min-heap of active children ordered
+// by (curStart, serial) — start tag with FIFO tie-breaking on the parent's
+// activation serial, which is unique per parent, so the minimum is a
+// strict total order and the heap layout cannot affect the schedule. It
+// follows the same hole-moving sift idiom as sched.FlowHeap.
 type childHeap struct{ cs []*Class }
 
 func (ch *childHeap) Len() int { return len(ch.cs) }
-func (ch *childHeap) Less(i, j int) bool {
-	a, b := ch.cs[i], ch.cs[j]
+
+func childLess(a, b *Class) bool {
 	if a.curStart != b.curStart {
 		return a.curStart < b.curStart
 	}
 	return a.serial < b.serial
 }
-func (ch *childHeap) Swap(i, j int) {
-	ch.cs[i], ch.cs[j] = ch.cs[j], ch.cs[i]
-	ch.cs[i].heapIdx = i
-	ch.cs[j].heapIdx = j
-}
-func (ch *childHeap) Push(x any) {
-	c := x.(*Class)
-	c.heapIdx = len(ch.cs)
+
+func (ch *childHeap) push(c *Class) {
 	ch.cs = append(ch.cs, c)
-}
-func (ch *childHeap) Pop() any {
-	old := ch.cs
-	n := len(old)
-	c := old[n-1]
-	old[n-1] = nil
-	ch.cs = old[:n-1]
-	c.heapIdx = -1
-	return c
+	ch.siftUp(len(ch.cs)-1, c)
 }
 
-func (ch *childHeap) push(c *Class) { heap.Push(ch, c) }
-func (ch *childHeap) min() *Class   { return ch.cs[0] }
-func (ch *childHeap) fix(c *Class)  { heap.Fix(ch, c.heapIdx) }
+func (ch *childHeap) min() *Class { return ch.cs[0] }
+
+func (ch *childHeap) fix(c *Class) {
+	i := c.heapIdx
+	if i > 0 && childLess(c, ch.cs[(i-1)/2]) {
+		ch.siftUp(i, c)
+		return
+	}
+	ch.siftDown(i, c)
+}
+
 func (ch *childHeap) remove(c *Class) {
-	heap.Remove(ch, c.heapIdx)
+	i := c.heapIdx
+	c.heapIdx = -1
+	n := len(ch.cs)
+	last := ch.cs[n-1]
+	ch.cs[n-1] = nil
+	ch.cs = ch.cs[:n-1]
+	if i == n-1 {
+		return
+	}
+	if i > 0 && childLess(last, ch.cs[(i-1)/2]) {
+		ch.siftUp(i, last)
+		return
+	}
+	ch.siftDown(i, last)
+}
+
+func (ch *childHeap) siftUp(i int, c *Class) {
+	cs := ch.cs
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !childLess(c, cs[parent]) {
+			break
+		}
+		cs[i] = cs[parent]
+		cs[i].heapIdx = i
+		i = parent
+	}
+	cs[i] = c
+	c.heapIdx = i
+}
+
+func (ch *childHeap) siftDown(i int, c *Class) {
+	cs := ch.cs
+	n := len(cs)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && childLess(cs[r], cs[child]) {
+			child = r
+		}
+		if !childLess(cs[child], c) {
+			break
+		}
+		cs[i] = cs[child]
+		cs[i].heapIdx = i
+		i = child
+	}
+	cs[i] = c
+	c.heapIdx = i
 }

@@ -42,9 +42,16 @@ const (
 
 // SFQ is a Start-time Fair Queuing scheduler. It implements
 // sched.Interface. The zero value is not usable; call New.
+//
+// Packets live in per-flow FIFOs (sched.FlowQ) under a heap of backlogged
+// flows (sched.FlowHeap), so Enqueue/Dequeue cost O(log B) in backlogged
+// flows — the complexity Section 2 claims — while serving exactly the
+// order a packet-level heap would: start tags are nondecreasing within a
+// flow (eq 4: S(p_f^{j+1}) ≥ F(p_f^j) > S(p_f^j)), so the earliest start
+// tag is always at some flow's head.
 type SFQ struct {
 	flows sched.FlowTable
-	heap  sched.TagHeap
+	fq    sched.FlowSet
 
 	v          float64         // system virtual time
 	maxFinish  float64         // max finish tag assigned to a serviced packet
@@ -77,6 +84,7 @@ func (s *SFQ) RemoveFlow(flow int) error {
 		return err
 	}
 	delete(s.lastFinish, flow)
+	s.fq.Drop(flow)
 	return nil
 }
 
@@ -104,7 +112,7 @@ func (s *SFQ) Enqueue(now float64, p *Packet) error {
 	if s.tie == TieLowWeightFirst {
 		sub = r
 	}
-	s.heap.PushTagSub(start, sub, p)
+	s.fq.Push(p.Flow, start, sub, p)
 	s.flows.OnEnqueue(p)
 	return nil
 }
@@ -117,14 +125,14 @@ func (s *SFQ) Dequeue(now float64) (*Packet, bool) {
 	if now > s.last {
 		s.last = now
 	}
-	if s.heap.Len() == 0 {
+	if s.fq.Len() == 0 {
 		if s.busy {
 			s.busy = false
 			s.v = s.maxFinish
 		}
 		return nil, false
 	}
-	p := s.heap.PopMin()
+	p := s.fq.PopMin()
 	s.busy = true
 	s.v = p.VirtualStart
 	if p.VirtualFinish > s.maxFinish {
@@ -136,7 +144,7 @@ func (s *SFQ) Dequeue(now float64) (*Packet, bool) {
 }
 
 // Len returns the number of queued packets.
-func (s *SFQ) Len() int { return s.heap.Len() }
+func (s *SFQ) Len() int { return s.fq.Len() }
 
 // QueuedBytes returns the bytes queued for flow.
 func (s *SFQ) QueuedBytes(flow int) float64 { return s.flows.QueuedBytes(flow) }

@@ -1,0 +1,8 @@
+//go:build !schedassert
+
+package sched
+
+// tagAssertEnabled gates the per-flow tag-monotonicity assertion in
+// FlowQ.Push. It is a constant so the release build compiles the check
+// out entirely; build with -tags schedassert to turn it on.
+const tagAssertEnabled = false

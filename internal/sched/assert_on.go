@@ -1,0 +1,8 @@
+//go:build schedassert
+
+package sched
+
+// tagAssertEnabled (debug build): FlowQ.Push panics if a flow's keys ever
+// decrease — the invariant the flow-indexed heap relies on for
+// correctness and for bit-identical pop order versus a packet-level heap.
+const tagAssertEnabled = true

@@ -14,7 +14,7 @@ type EDD struct {
 	flows    FlowTable
 	deadline map[int]float64 // d_f per flow, seconds
 	eatNext  map[int]float64 // EAT(prev) + l_prev/r_prev
-	heap     TagHeap
+	fq       FlowSet
 	last     float64
 }
 
@@ -35,6 +35,16 @@ func (s *EDD) AddFlow(flow int, weight float64) error { return s.AddFlowDeadline
 
 // AddFlowDeadline registers flow with reserved rate (bytes/second) and
 // per-packet delay bound d (seconds).
+//
+// Calling it again re-registers the flow with new parameters; changes
+// apply to packets that arrive afterwards. The flow-indexed queue serves
+// each flow's packets strictly in arrival order (per-flow deadlines are
+// nondecreasing when d_f is stable, since EAT advances by l/r per
+// packet), so shrinking d_f while the flow is backlogged does not let the
+// new packet overtake the flow's queued ones — its lower deadline takes
+// effect against *other* flows once it reaches the head. A reduction deep
+// enough to invert the flow's own key order trips the schedassert build's
+// monotonicity assertion.
 func (s *EDD) AddFlowDeadline(flow int, rate, d float64) error {
 	if d < 0 {
 		return ErrBadWeight
@@ -53,6 +63,7 @@ func (s *EDD) RemoveFlow(flow int) error {
 	}
 	delete(s.deadline, flow)
 	delete(s.eatNext, flow)
+	s.fq.Drop(flow)
 	return nil
 }
 
@@ -73,7 +84,7 @@ func (s *EDD) Enqueue(now float64, p *Packet) error {
 	}
 	s.eatNext[p.Flow] = eat + p.Length/r
 	p.Deadline = eat + s.deadline[p.Flow]
-	s.heap.PushTag(p.Deadline, p)
+	s.fq.Push(p.Flow, p.Deadline, 0, p)
 	s.flows.OnEnqueue(p)
 	return nil
 }
@@ -83,16 +94,16 @@ func (s *EDD) Dequeue(now float64) (*Packet, bool) {
 	if now > s.last {
 		s.last = now
 	}
-	if s.heap.Len() == 0 {
+	if s.fq.Len() == 0 {
 		return nil, false
 	}
-	p := s.heap.PopMin()
+	p := s.fq.PopMin()
 	s.flows.OnDequeue(p)
 	return p, true
 }
 
 // Len returns the number of queued packets.
-func (s *EDD) Len() int { return s.heap.Len() }
+func (s *EDD) Len() int { return s.fq.Len() }
 
 // QueuedBytes returns the bytes queued for flow.
 func (s *EDD) QueuedBytes(flow int) float64 { return s.flows.QueuedBytes(flow) }

@@ -18,15 +18,26 @@ import "math"
 // that is still queued in the ASQ, the *start tag of the flow's next ASQ
 // packet is set to the start tag of the packet being removed*, so GSQ
 // service does not charge the flow in ASQ currency.
+//
+// Data layout: each flow keeps its packets in one value slice (faEntry
+// records, no per-packet allocation). The ASQ is flow-indexed — an indexed
+// min-heap over the flows with unserved packets, keyed by the head entry's
+// (start tag, push serial), replacing the old packet-level heap with lazy
+// deletion of served entries. ASQ start tags are nondecreasing within a
+// flow (rule 5 reuses the removed packet's tag; ASQ service advances it),
+// so the flow head always carries the flow's minimum and the schedule is
+// identical. The GSQ stays a packet-level TagHeap: it can legitimately
+// hold several promoted packets of one flow.
 type FairAirport struct {
 	flows FlowTable
 	state map[int]*faFlow
 
-	gsq TagHeap // promoted packets, keyed by Virtual Clock stamp
-	asq TagHeap // flow-head packets, keyed by ASQ (SFQ) start tag; lazy deletion
+	gsq TagHeap   // promoted packets, keyed by Virtual Clock stamp
+	asq faASQHeap // flows with unserved packets, keyed by head (asqStart, serial)
 
 	reg faRegHeap // regulator heads, keyed by release time EAT^RC
 
+	asqSeq       uint64 // ASQ head-assignment sequence (FIFO tie-break)
 	asqV         float64
 	asqMaxFinish float64
 	busy         bool
@@ -46,12 +57,104 @@ type faEntry struct {
 }
 
 type faFlow struct {
-	q       []*faEntry
+	q       []faEntry
 	headIdx int     // first unserved entry
 	regIdx  int     // entry whose release event is (or was) in the regulator heap; len(q) if none
 	gen     int     // bumped when q is compacted, invalidating old release events
 	gsqBase float64 // EAT^RC chain: earliest release of the next packet to enter GSQ
 	asqBase float64 // baseline for the next arrival's ASQ start tag
+
+	// ASQ heap state: the head entry's start tag, the sequence number of
+	// the head assignment (same order the old packet heap pushed in), and
+	// the flow's heap position (-1 when it has no unserved packets).
+	asqKey    float64
+	asqSerial uint64
+	asqIdx    int
+}
+
+// faASQHeap is a hand-rolled indexed min-heap over the flows with unserved
+// packets, ordered by (asqKey, asqSerial) — the head packet's SFQ start
+// tag with FIFO tie-breaking in head-assignment order. Same hole-moving
+// sift idiom as FlowHeap, with position tracking for fix/remove.
+type faASQHeap struct{ fs []*faFlow }
+
+func faLess(a, b *faFlow) bool {
+	if a.asqKey != b.asqKey {
+		return a.asqKey < b.asqKey
+	}
+	return a.asqSerial < b.asqSerial
+}
+
+func (h *faASQHeap) Len() int { return len(h.fs) }
+
+func (h *faASQHeap) min() *faFlow { return h.fs[0] }
+
+func (h *faASQHeap) push(f *faFlow) {
+	h.fs = append(h.fs, f)
+	h.siftUp(len(h.fs)-1, f)
+}
+
+func (h *faASQHeap) fix(f *faFlow) {
+	i := f.asqIdx
+	if i > 0 && faLess(f, h.fs[(i-1)/2]) {
+		h.siftUp(i, f)
+		return
+	}
+	h.siftDown(i, f)
+}
+
+func (h *faASQHeap) remove(f *faFlow) {
+	i := f.asqIdx
+	f.asqIdx = -1
+	n := len(h.fs)
+	last := h.fs[n-1]
+	h.fs[n-1] = nil
+	h.fs = h.fs[:n-1]
+	if i == n-1 {
+		return
+	}
+	if i > 0 && faLess(last, h.fs[(i-1)/2]) {
+		h.siftUp(i, last)
+		return
+	}
+	h.siftDown(i, last)
+}
+
+func (h *faASQHeap) siftUp(i int, f *faFlow) {
+	fs := h.fs
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !faLess(f, fs[parent]) {
+			break
+		}
+		fs[i] = fs[parent]
+		fs[i].asqIdx = i
+		i = parent
+	}
+	fs[i] = f
+	f.asqIdx = i
+}
+
+func (h *faASQHeap) siftDown(i int, f *faFlow) {
+	fs := h.fs
+	n := len(fs)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && faLess(fs[r], fs[child]) {
+			child = r
+		}
+		if !faLess(fs[child], f) {
+			break
+		}
+		fs[i] = fs[child]
+		fs[i].asqIdx = i
+		i = child
+	}
+	fs[i] = f
+	f.asqIdx = i
 }
 
 type faRegEvent struct {
@@ -137,12 +240,13 @@ func (s *FairAirport) AddFlow(flow int, weight float64) error {
 		return err
 	}
 	if _, ok := s.state[flow]; !ok {
-		s.state[flow] = &faFlow{gsqBase: math.Inf(-1)}
+		s.state[flow] = &faFlow{gsqBase: math.Inf(-1), asqIdx: -1}
 	}
 	return nil
 }
 
-// RemoveFlow unregisters an idle flow.
+// RemoveFlow unregisters an idle flow. Its entry slice is released; any
+// regulator events still in flight are invalidated by the flow lookup.
 func (s *FairAirport) RemoveFlow(flow int) error {
 	if err := s.flows.Remove(flow); err != nil {
 		return err
@@ -163,17 +267,21 @@ func (s *FairAirport) Enqueue(now float64, p *Packet) error {
 	}
 	r := EffRate(p, w)
 	f := s.state[p.Flow]
-	e := &faEntry{p: p}
-	f.q = append(f.q, e)
+	f.q = append(f.q, faEntry{p: p})
+	e := &f.q[len(f.q)-1]
 
 	// ASQ head bookkeeping: if this packet is the flow's only unserved
-	// packet it becomes the ASQ head now (eq 4 with the ASQ virtual time).
+	// packet it becomes the ASQ head now (eq 4 with the ASQ virtual time)
+	// and the flow joins the ASQ heap.
 	if f.headIdx == len(f.q)-1 {
 		e.asqStart = math.Max(s.asqV, f.asqBase)
 		e.asqF = e.asqStart + p.Length/r
 		p.VirtualStart = e.asqStart
 		p.VirtualFinish = e.asqF
-		s.asq.PushTag(e.asqStart, p)
+		s.asqSeq++
+		f.asqKey = e.asqStart
+		f.asqSerial = s.asqSeq
+		s.asq.push(f)
 	}
 
 	// Regulator bookkeeping: if the regulator has no pending release for
@@ -197,7 +305,7 @@ func (s *FairAirport) promote(now float64) {
 		if f == nil || ev.gen != f.gen || ev.idx >= len(f.q) || ev.idx != f.regIdx {
 			continue // stale after compaction, service, or flow removal
 		}
-		e := f.q[ev.idx]
+		e := &f.q[ev.idx]
 		if !e.served && !e.inGSQ {
 			// Release into the GSQ with the Virtual Clock stamp
 			// EAT^GSQ + l/r, where EAT^GSQ = EAT^RC (rule 3, eq 139).
@@ -213,7 +321,7 @@ func (s *FairAirport) promote(now float64) {
 			f.regIdx++
 		}
 		if f.regIdx < len(f.q) {
-			next := f.q[f.regIdx]
+			next := &f.q[f.regIdx]
 			next.eat = math.Max(next.p.Arrival, f.gsqBase)
 			s.reg.push(next.eat, ev.flow, f.regIdx, f.gen)
 		}
@@ -242,29 +350,24 @@ func (s *FairAirport) Dequeue(now float64) (*Packet, bool) {
 		return p, true
 	}
 
-	// ASQ service with lazy deletion of entries already served via GSQ.
-	for {
-		p := s.asq.PopMin()
-		f := s.state[p.Flow]
-		if f == nil || f.headIdx >= len(f.q) {
-			continue // flow removed or queue drained: stale entry
-		}
-		e := f.q[f.headIdx] // the ASQ heap only ever holds flow heads
-		if e.p != p || e.served {
-			continue
-		}
-		s.asqV = e.asqStart
-		s.finishService(p, false)
-		return p, true
-	}
+	// ASQ service: the minimum flow's head is the minimum unserved start
+	// tag. (With the GSQ empty no unserved entry is promoted, so the head
+	// is always directly servable — no staleness to skip.)
+	f := s.asq.min()
+	e := &f.q[f.headIdx]
+	p := e.p
+	s.asqV = e.asqStart
+	s.finishService(p, false)
+	return p, true
 }
 
 // finishService marks the flow head served via the given route and sets up
 // the flow's next head (rule 5 for GSQ service).
 func (s *FairAirport) finishService(p *Packet, viaGSQ bool) {
 	f := s.state[p.Flow]
-	e := f.q[f.headIdx]
+	e := &f.q[f.headIdx]
 	e.served = true
+	e.p = nil // the scheduler keeps no reference to a served packet
 	if e.asqF > s.asqMaxFinish {
 		s.asqMaxFinish = e.asqF
 	}
@@ -280,15 +383,19 @@ func (s *FairAirport) finishService(p *Packet, viaGSQ bool) {
 		nextStart = e.asqF // max(asqV, e.asqF) == e.asqF since asqV == e.asqStart
 	}
 	if f.headIdx < len(f.q) {
-		next := f.q[f.headIdx]
+		next := &f.q[f.headIdx]
 		r := EffRate(next.p, s.flows.Weights[p.Flow])
 		next.asqStart = nextStart
 		next.asqF = nextStart + next.p.Length/r
 		next.p.VirtualStart = next.asqStart
 		next.p.VirtualFinish = next.asqF
-		s.asq.PushTag(next.asqStart, next.p)
+		s.asqSeq++
+		f.asqKey = next.asqStart
+		f.asqSerial = s.asqSeq
+		s.asq.fix(f)
 	} else {
 		// Queue drained: compact and remember the tag baseline.
+		s.asq.remove(f)
 		f.q = f.q[:0]
 		f.headIdx = 0
 		f.regIdx = 0
@@ -299,6 +406,13 @@ func (s *FairAirport) finishService(p *Packet, viaGSQ bool) {
 	s.flows.OnDequeue(p)
 	s.total--
 }
+
+// PacketPoolSafe reports that Fair Airport retains no dequeued packets:
+// served entries nil out their packet pointer, the GSQ heap zeroes popped
+// slots, and the flow-indexed ASQ holds flows, not packets. (Before the
+// flow-indexed ASQ, lazy deletion kept stale *Packet pointers alive and
+// FA was excluded from pooling.)
+func (s *FairAirport) PacketPoolSafe() bool { return true }
 
 // Len returns the number of queued packets.
 func (s *FairAirport) Len() int { return s.total }

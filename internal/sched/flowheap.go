@@ -1,0 +1,131 @@
+package sched
+
+// FlowHeap is a hand-rolled indexed min-heap over backlogged flows,
+// ordered by each flow's head item under the strict total order
+// (key, sub, serial). It follows the PR 3 typed-heap idiom — hole-moving
+// sift-up/sift-down, no container/heap boxing — and additionally tracks
+// each FlowQ's position (FlowQ.heapIdx) so Fix and Remove are O(log B)
+// without a search. Every member must be nonempty; callers push a flow
+// when it becomes backlogged and pop/remove it when it drains.
+type FlowHeap struct {
+	fs []*FlowQ
+}
+
+// Len returns the number of backlogged flows in the heap.
+func (h *FlowHeap) Len() int { return len(h.fs) }
+
+// Min returns the flow whose head item is smallest, or nil when empty.
+func (h *FlowHeap) Min() *FlowQ {
+	if len(h.fs) == 0 {
+		return nil
+	}
+	return h.fs[0]
+}
+
+// Push inserts a newly backlogged flow. fq must be nonempty.
+func (h *FlowHeap) Push(fq *FlowQ) {
+	h.fs = append(h.fs, fq)
+	h.siftUp(len(h.fs)-1, fq)
+}
+
+// PopMin removes and returns the minimum flow, or nil when empty. The
+// removed flow's heapIdx is reset to -1.
+func (h *FlowHeap) PopMin() *FlowQ {
+	n := len(h.fs)
+	if n == 0 {
+		return nil
+	}
+	min := h.fs[0]
+	min.heapIdx = -1
+	last := h.fs[n-1]
+	h.fs[n-1] = nil
+	h.fs = h.fs[:n-1]
+	if n > 1 {
+		h.siftDown(0, last)
+	}
+	return min
+}
+
+// Fix restores heap order after fq's head item changed in place (e.g. the
+// previous head was popped but the flow is still backlogged).
+func (h *FlowHeap) Fix(fq *FlowQ) {
+	i := fq.heapIdx
+	if i > 0 && fq.headItem().less(h.fs[(i-1)/2].headItem()) {
+		h.siftUp(i, fq)
+		return
+	}
+	h.siftDown(i, fq)
+}
+
+// FixMin restores heap order after the minimum flow's head changed. Under
+// the per-flow monotonicity invariant the new head can only be larger, so
+// a single sift-down suffices (and is still safe without the invariant:
+// a root that shrank remains the minimum).
+func (h *FlowHeap) FixMin() {
+	h.siftDown(0, h.fs[0])
+}
+
+// Remove deletes fq from the heap regardless of position (RemoveFlow on a
+// backlogged flow, chaos churn). No-op if fq is not in the heap.
+func (h *FlowHeap) Remove(fq *FlowQ) {
+	i := fq.heapIdx
+	if i < 0 {
+		return
+	}
+	fq.heapIdx = -1
+	n := len(h.fs)
+	last := h.fs[n-1]
+	h.fs[n-1] = nil
+	h.fs = h.fs[:n-1]
+	if i == n-1 {
+		return
+	}
+	if i > 0 && last.headItem().less(h.fs[(i-1)/2].headItem()) {
+		h.siftUp(i, last)
+		return
+	}
+	h.siftDown(i, last)
+}
+
+// siftUp moves fq toward the root from hole position i, shifting larger
+// parents down into the hole.
+func (h *FlowHeap) siftUp(i int, fq *FlowQ) {
+	fs := h.fs
+	it := fq.headItem()
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !it.less(fs[parent].headItem()) {
+			break
+		}
+		fs[i] = fs[parent]
+		fs[i].heapIdx = i
+		i = parent
+	}
+	fs[i] = fq
+	fq.heapIdx = i
+}
+
+// siftDown moves fq toward the leaves from hole position i, shifting the
+// smaller child up into the hole.
+func (h *FlowHeap) siftDown(i int, fq *FlowQ) {
+	fs := h.fs
+	n := len(fs)
+	it := fq.headItem()
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && fs[r].headItem().less(fs[child].headItem()) {
+			child = r
+		}
+		if !fs[child].headItem().less(it) {
+			break
+		}
+		fs[i] = fs[child]
+		fs[i].heapIdx = i
+		i = child
+	}
+	fs[i] = fq
+	fq.heapIdx = i
+}

@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFlowQChunkLifecycle pushes through several chunk boundaries and
+// checks FIFO order, byte accounting, chunk recycling, and the
+// cached-chunk-on-drain behavior.
+func TestFlowQChunkLifecycle(t *testing.T) {
+	var pool ChunkPool
+	fq := NewFlowQ(7)
+	if fq.Flow() != 7 {
+		t.Fatalf("Flow() = %d", fq.Flow())
+	}
+
+	const n = 3*flowChunkSize + 5 // spans 4 chunks
+	pkts := make([]*Packet, n)
+	wantBytes := 0.0
+	for i := 0; i < n; i++ {
+		pkts[i] = &Packet{Flow: 7, Seq: int64(i), Length: float64(100 + i)}
+		fq.Push(&pool, float64(i), 0, uint64(i+1), pkts[i])
+		wantBytes += pkts[i].Length
+		if fq.Len() != i+1 {
+			t.Fatalf("Len after push %d = %d", i, fq.Len())
+		}
+		if fq.QueuedBytes() != wantBytes {
+			t.Fatalf("QueuedBytes after push %d = %v, want %v", i, fq.QueuedBytes(), wantBytes)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if p, key := fq.Head(); p != pkts[i] || key != float64(i) {
+			t.Fatalf("Head before pop %d = (%v, %v)", i, p, key)
+		}
+		p := fq.Pop(&pool)
+		if p != pkts[i] {
+			t.Fatalf("pop %d: got seq %d, want %d", i, p.Seq, int64(i))
+		}
+		wantBytes -= p.Length
+		if i == n-1 {
+			wantBytes = 0
+		}
+		if fq.QueuedBytes() != wantBytes {
+			t.Fatalf("QueuedBytes after pop %d = %v, want %v", i, fq.QueuedBytes(), wantBytes)
+		}
+	}
+	if fq.Len() != 0 || fq.QueuedBytes() != 0 {
+		t.Fatalf("drained queue: Len=%d bytes=%v", fq.Len(), fq.QueuedBytes())
+	}
+	if p, _ := fq.Head(); p != nil {
+		t.Fatalf("Head of empty queue = %v", p)
+	}
+	// Three chunks were recycled during the drain; the fourth stays cached.
+	if pool.Len() != 3 {
+		t.Fatalf("pooled chunks after drain = %d, want 3", pool.Len())
+	}
+
+	// Release hands the cached chunk back too.
+	fq.Release(&pool)
+	if pool.Len() != 4 {
+		t.Fatalf("pooled chunks after Release = %d, want 4", pool.Len())
+	}
+
+	// The released queue is reusable, now drawing from the pool.
+	fq.Push(&pool, 1, 0, uint64(n+1), &Packet{Flow: 7, Length: 50})
+	if pool.Len() != 3 || fq.Len() != 1 || fq.QueuedBytes() != 50 {
+		t.Fatalf("reuse after Release: pool=%d len=%d bytes=%v", pool.Len(), fq.Len(), fq.QueuedBytes())
+	}
+}
+
+// TestFlowQReleaseMidBacklog releases a queue that still holds packets
+// spanning multiple chunks (the chaos-churn path) and checks every chunk
+// returns to the pool zeroed.
+func TestFlowQReleaseMidBacklog(t *testing.T) {
+	var pool ChunkPool
+	fq := NewFlowQ(1)
+	for i := 0; i < 2*flowChunkSize+3; i++ {
+		fq.Push(&pool, float64(i), 0, uint64(i+1), &Packet{Flow: 1, Length: 10})
+	}
+	// Pop a few so the head chunk has a nonzero offset.
+	for i := 0; i < 5; i++ {
+		fq.Pop(&pool)
+	}
+	fq.Release(&pool)
+	if fq.Len() != 0 || fq.QueuedBytes() != 0 {
+		t.Fatalf("after Release: len=%d bytes=%v", fq.Len(), fq.QueuedBytes())
+	}
+	if pool.Len() != 3 {
+		t.Fatalf("pooled chunks = %d, want 3", pool.Len())
+	}
+	for _, c := range pool.free {
+		for i := range c.items {
+			if c.items[i] != (flowItem{}) {
+				t.Fatalf("pooled chunk slot %d not zeroed: %+v", i, c.items[i])
+			}
+		}
+	}
+}
+
+// TestFlowHeapOrdersLikeSort cross-checks FlowHeap's pop sequence against
+// sorting all items by (key, sub, serial) — the strict total order the
+// schedulers rely on — over randomized multi-flow contents.
+func TestFlowHeapOrdersLikeSort(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var fs FlowSet
+		nf := 1 + rng.Intn(8)
+		type rec struct {
+			key    float64
+			serial int
+			flow   int
+		}
+		var all []rec
+		serial := 0
+		lastKey := make(map[int]float64)
+		for i := 0; i < 200; i++ {
+			f := 1 + rng.Intn(nf)
+			// Per-flow nondecreasing keys, with deliberate cross-flow ties.
+			k := lastKey[f] + float64(rng.Intn(3))
+			lastKey[f] = k
+			serial++
+			fs.Push(f, k, 0, &Packet{Flow: f, Seq: int64(serial), Length: 1})
+			all = append(all, rec{key: k, serial: serial, flow: f})
+		}
+		// Expected order: by key, then push serial (sub is constant).
+		expect := append([]rec(nil), all...)
+		for i := 1; i < len(expect); i++ { // insertion sort keeps the test dependency-free
+			for j := i; j > 0 && (expect[j].key < expect[j-1].key ||
+				(expect[j].key == expect[j-1].key && expect[j].serial < expect[j-1].serial)); j-- {
+				expect[j], expect[j-1] = expect[j-1], expect[j]
+			}
+		}
+		for i, want := range expect {
+			p := fs.PopMin()
+			if p == nil || int(p.Seq) != want.serial {
+				t.Fatalf("seed %d pop %d: got %v, want serial %d", seed, i, p, want.serial)
+			}
+		}
+		if fs.PopMin() != nil || fs.Len() != 0 || fs.Backlogged() != 0 {
+			t.Fatalf("seed %d: leftovers after full drain", seed)
+		}
+	}
+}
+
+// TestFlowHeapRemove exercises Remove from arbitrary heap positions.
+func TestFlowHeapRemove(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var fs FlowSet
+		nf := 2 + rng.Intn(10)
+		for f := 1; f <= nf; f++ {
+			key := 0.0
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				key += rng.Float64() // nondecreasing within the flow
+				fs.Push(f, key, 0, &Packet{Flow: f, Length: 8})
+			}
+		}
+		victim := 1 + rng.Intn(nf)
+		before := fs.Len()
+		dropped := fs.FlowLen(victim)
+		fs.Drop(victim)
+		if fs.Len() != before-dropped || fs.FlowLen(victim) != 0 || fs.FlowBytes(victim) != 0 {
+			t.Fatalf("seed %d: Drop bookkeeping off", seed)
+		}
+		// Remaining packets still pop in nondecreasing key order.
+		prev := -1.0
+		for {
+			p, key := fs.Peek()
+			if p == nil {
+				break
+			}
+			if key < prev {
+				t.Fatalf("seed %d: key order broken after Drop: %v after %v", seed, key, prev)
+			}
+			prev = key
+			if p.Flow == victim {
+				t.Fatalf("seed %d: dropped flow still scheduled", seed)
+			}
+			fs.PopMin()
+		}
+	}
+}
+
+// TestFlowSetDropReleasesChunks pins the RemoveFlow contract: dropping a
+// flow returns all its chunks — including the idle flow's cached chunk —
+// to the pool for other flows to reuse.
+func TestFlowSetDropReleasesChunks(t *testing.T) {
+	var fs FlowSet
+	for i := 0; i < flowChunkSize+1; i++ {
+		fs.Push(1, float64(i), 0, &Packet{Flow: 1, Length: 4})
+	}
+	for fs.Len() > 0 {
+		fs.PopMin()
+	}
+	// One chunk recycled during the drain; one cached by the idle flow.
+	if fs.PooledChunks() != 1 {
+		t.Fatalf("pooled after drain = %d, want 1", fs.PooledChunks())
+	}
+	fs.Drop(1)
+	if fs.PooledChunks() != 2 {
+		t.Fatalf("pooled after Drop = %d, want 2", fs.PooledChunks())
+	}
+	// A different flow's growth reuses the released chunks: no allocation.
+	pkts := make([]*Packet, 2*flowChunkSize)
+	for i := range pkts {
+		pkts[i] = &Packet{Flow: 2, Length: 4}
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		for i, p := range pkts {
+			fs.Push(2, float64(i), 0, p)
+		}
+		for fs.Len() > 0 {
+			fs.PopMin()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %v times per run", allocs)
+	}
+}
+
+// TestFlowSetSteadyStateZeroAlloc is the scale analogue of the PR 3 heap
+// guards: with many backlogged flows, enqueue/dequeue churn must not
+// allocate once chunks and heap slots exist.
+func TestFlowSetSteadyStateZeroAlloc(t *testing.T) {
+	var fs FlowSet
+	const nf = 256
+	pkts := make([]*Packet, nf)
+	for f := 0; f < nf; f++ {
+		pkts[f] = &Packet{Flow: f, Length: 100}
+		fs.Push(f, float64(f), 0, pkts[f])
+	}
+	key := float64(nf)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < nf; i++ {
+			p := fs.PopMin()
+			key++
+			fs.Push(p.Flow, key, 0, p)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FlowSet churn allocated %v times per run", allocs)
+	}
+}

@@ -1,0 +1,113 @@
+package sched
+
+// FlowSet bundles the flow-indexed core into the drop-in shape the
+// tag-based disciplines use: a per-flow FlowQ table, a FlowHeap over the
+// backlogged flows, one ChunkPool, and the scheduler-wide push serial
+// that completes the (key, sub, serial) strict total order. The zero
+// value is ready to use (same convention as TagHeap and FlowTable).
+//
+// The serial counter increments exactly once per Push — the same sequence
+// the packet-level TagHeap assigned — which is what makes the flow-indexed
+// pop order bit-identical to the packet-heap order it replaced: ties on
+// (key, sub) across flows resolve by global push order either way.
+type FlowSet struct {
+	qs     map[int]*FlowQ
+	heap   FlowHeap
+	pool   ChunkPool
+	serial uint64
+	total  int
+}
+
+// Push appends p to its flow's FIFO under the key pair (key, sub),
+// stamping the next scheduler-wide serial, and activates the flow in the
+// heap if this is its first queued packet. O(log B) on activation, O(1)
+// otherwise.
+func (fs *FlowSet) Push(flow int, key, sub float64, p *Packet) {
+	q := fs.qs[flow]
+	if q == nil {
+		if fs.qs == nil {
+			fs.qs = make(map[int]*FlowQ)
+		}
+		q = NewFlowQ(flow)
+		fs.qs[flow] = q
+	}
+	fs.serial++
+	wasIdle := q.n == 0
+	q.Push(&fs.pool, key, sub, fs.serial, p)
+	if wasIdle {
+		fs.heap.Push(q)
+	}
+	fs.total++
+}
+
+// PopMin removes and returns the packet with the smallest (key, sub,
+// serial) across all flows, or nil when empty. The flow stays in its map
+// slot when it drains (keeping one cached chunk) so reactivation is
+// allocation-free.
+func (fs *FlowSet) PopMin() *Packet {
+	q := fs.heap.Min()
+	if q == nil {
+		return nil
+	}
+	p := q.Pop(&fs.pool)
+	if q.n == 0 {
+		fs.heap.PopMin()
+	} else {
+		fs.heap.FixMin()
+	}
+	fs.total--
+	return p
+}
+
+// Peek returns the packet that PopMin would return, and its key, without
+// removing it. Returns (nil, 0) when empty.
+func (fs *FlowSet) Peek() (*Packet, float64) {
+	q := fs.heap.Min()
+	if q == nil {
+		return nil, 0
+	}
+	return q.Head()
+}
+
+// Len returns the total number of queued packets across all flows.
+func (fs *FlowSet) Len() int { return fs.total }
+
+// FlowLen returns the number of packets queued for one flow, in O(1).
+func (fs *FlowSet) FlowLen(flow int) int {
+	if q := fs.qs[flow]; q != nil {
+		return q.n
+	}
+	return 0
+}
+
+// FlowBytes returns the bytes queued for one flow, in O(1) and exactly
+// zero when the flow is idle.
+func (fs *FlowSet) FlowBytes(flow int) float64 {
+	if q := fs.qs[flow]; q != nil {
+		return q.bytes
+	}
+	return 0
+}
+
+// Backlogged returns the number of flows currently holding packets — the
+// B in the O(log B) heap costs.
+func (fs *FlowSet) Backlogged() int { return fs.heap.Len() }
+
+// Drop releases a flow's FIFO entirely: chunks (including the cached one)
+// go back to the pool and the flow leaves the heap and the table.
+// RemoveFlow calls this after its own busy check, but Drop is safe on a
+// backlogged flow too (chaos churn paths).
+func (fs *FlowSet) Drop(flow int) {
+	q := fs.qs[flow]
+	if q == nil {
+		return
+	}
+	fs.total -= q.n
+	fs.heap.Remove(q)
+	q.Release(&fs.pool)
+	delete(fs.qs, flow)
+}
+
+// PooledChunks reports the chunk pool's free-list length (tests,
+// observability).
+func (fs *FlowSet) PooledChunks() int { return fs.pool.Len() }

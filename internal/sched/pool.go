@@ -42,10 +42,9 @@ func (pp *PacketPool) Len() int { return len(pp.free) }
 // PoolSafe is implemented by schedulers that keep NO reference to a packet
 // after returning it from Dequeue (and none after a failed Enqueue). Links
 // recycle packets through a PacketPool only when their scheduler reports
-// pool safety; anything that retains packets — a lazy-deletion structure
-// like FairAirport's auxiliary queue, or a tracing wrapper like the
-// conformance recorder — simply does not implement the interface and the
-// link falls back to per-packet allocation.
+// pool safety; anything that retains packets — a tracing wrapper like the
+// conformance recorder, say — simply does not implement the interface and
+// the link falls back to per-packet allocation.
 type PoolSafe interface {
 	// PacketPoolSafe reports whether recycling dequeued packets is safe.
 	// Composite schedulers answer for their current children, so callers
@@ -62,9 +61,8 @@ func PoolSafeScheduler(s Interface) bool {
 // Pool-safety declarations for this package's schedulers. Each returns
 // true because the scheduler nils out (or pops) its reference to a packet
 // when Dequeue hands it out and mutates nothing on a failed Enqueue.
-// FairAirport deliberately has none: its ASQ heap lazily deletes entries
-// whose packets were already served via the GSQ, so it still holds stale
-// *Packet pointers after Dequeue.
+// (FairAirport's declaration lives in fairairport.go next to the served-
+// entry bookkeeping that makes it true.)
 
 // PacketPoolSafe reports that SCFQ retains no dequeued packets.
 func (s *SCFQ) PacketPoolSafe() bool { return true }

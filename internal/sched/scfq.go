@@ -10,7 +10,7 @@ import "math"
 // eq (56) — the l_f/r_f term that SFQ's start-tag ordering eliminates.
 type SCFQ struct {
 	flows      FlowTable
-	heap       TagHeap
+	fq         FlowSet
 	v          float64
 	maxFinish  float64
 	busy       bool
@@ -34,6 +34,7 @@ func (s *SCFQ) RemoveFlow(flow int) error {
 		return err
 	}
 	delete(s.lastFinish, flow)
+	s.fq.Drop(flow)
 	return nil
 }
 
@@ -57,7 +58,7 @@ func (s *SCFQ) Enqueue(now float64, p *Packet) error {
 	p.VirtualStart = start
 	p.VirtualFinish = finish
 	s.lastFinish[p.Flow] = finish
-	s.heap.PushTag(finish, p)
+	s.fq.Push(p.Flow, finish, 0, p)
 	s.flows.OnEnqueue(p)
 	return nil
 }
@@ -68,14 +69,14 @@ func (s *SCFQ) Dequeue(now float64) (*Packet, bool) {
 	if now > s.last {
 		s.last = now
 	}
-	if s.heap.Len() == 0 {
+	if s.fq.Len() == 0 {
 		if s.busy {
 			s.busy = false
 			s.v = s.maxFinish
 		}
 		return nil, false
 	}
-	p := s.heap.PopMin()
+	p := s.fq.PopMin()
 	s.busy = true
 	s.v = p.VirtualFinish
 	if p.VirtualFinish > s.maxFinish {
@@ -86,7 +87,7 @@ func (s *SCFQ) Dequeue(now float64) (*Packet, bool) {
 }
 
 // Len returns the number of queued packets.
-func (s *SCFQ) Len() int { return s.heap.Len() }
+func (s *SCFQ) Len() int { return s.fq.Len() }
 
 // QueuedBytes returns the bytes queued for flow.
 func (s *SCFQ) QueuedBytes(flow int) float64 { return s.flows.QueuedBytes(flow) }

@@ -12,7 +12,7 @@ import "math"
 // Airport (Appendix B).
 type VirtualClock struct {
 	flows FlowTable
-	heap  TagHeap
+	fq    FlowSet
 	// eatNext[f] = EAT(p_f^{j-1}) + l^{j-1}/r^{j-1}: the earliest expected
 	// arrival of the flow's next packet.
 	eatNext map[int]float64
@@ -35,6 +35,7 @@ func (s *VirtualClock) RemoveFlow(flow int) error {
 		return err
 	}
 	delete(s.eatNext, flow)
+	s.fq.Drop(flow)
 	return nil
 }
 
@@ -57,7 +58,7 @@ func (s *VirtualClock) Enqueue(now float64, p *Packet) error {
 	p.VirtualStart = eat
 	p.VirtualFinish = stamp
 	s.eatNext[p.Flow] = stamp
-	s.heap.PushTag(stamp, p)
+	s.fq.Push(p.Flow, stamp, 0, p)
 	s.flows.OnEnqueue(p)
 	return nil
 }
@@ -67,16 +68,16 @@ func (s *VirtualClock) Dequeue(now float64) (*Packet, bool) {
 	if now > s.last {
 		s.last = now
 	}
-	if s.heap.Len() == 0 {
+	if s.fq.Len() == 0 {
 		return nil, false
 	}
-	p := s.heap.PopMin()
+	p := s.fq.PopMin()
 	s.flows.OnDequeue(p)
 	return p, true
 }
 
 // Len returns the number of queued packets.
-func (s *VirtualClock) Len() int { return s.heap.Len() }
+func (s *VirtualClock) Len() int { return s.fq.Len() }
 
 // QueuedBytes returns the bytes queued for flow.
 func (s *VirtualClock) QueuedBytes(flow int) float64 { return s.flows.QueuedBytes(flow) }

@@ -146,7 +146,7 @@ func (g *gps) arrive(flow int, finish float64) {
 type WFQ struct {
 	flows      FlowTable
 	g          *gps
-	heap       TagHeap
+	fq         FlowSet
 	lastFinish map[int]float64
 	last       float64
 	byStart    bool // FQS when true
@@ -189,6 +189,7 @@ func (s *WFQ) RemoveFlow(flow int) error {
 	}
 	delete(s.lastFinish, flow)
 	delete(s.g.count, flow)
+	s.fq.Drop(flow)
 	return nil
 }
 
@@ -214,9 +215,9 @@ func (s *WFQ) Enqueue(now float64, p *Packet) error {
 	s.lastFinish[p.Flow] = finish
 	s.g.arrive(p.Flow, finish)
 	if s.byStart {
-		s.heap.PushTag(start, p)
+		s.fq.Push(p.Flow, start, 0, p)
 	} else {
-		s.heap.PushTag(finish, p)
+		s.fq.Push(p.Flow, finish, 0, p)
 	}
 	s.flows.OnEnqueue(p)
 	return nil
@@ -228,16 +229,16 @@ func (s *WFQ) Dequeue(now float64) (*Packet, bool) {
 		s.last = now
 	}
 	s.g.advance(now)
-	if s.heap.Len() == 0 {
+	if s.fq.Len() == 0 {
 		return nil, false
 	}
-	p := s.heap.PopMin()
+	p := s.fq.PopMin()
 	s.flows.OnDequeue(p)
 	return p, true
 }
 
 // Len returns the number of queued packets.
-func (s *WFQ) Len() int { return s.heap.Len() }
+func (s *WFQ) Len() int { return s.fq.Len() }
 
 // QueuedBytes returns the bytes queued for flow.
 func (s *WFQ) QueuedBytes(flow int) float64 { return s.flows.QueuedBytes(flow) }
