@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eventq"
 	"repro/internal/experiments"
+	_ "repro/internal/pifo" // registers pifo-* and the UPS disciplines
 	"repro/internal/qos"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -220,6 +221,10 @@ func BenchmarkScaleFlows(b *testing.B) {
 		{"SFQ", func() sched.Interface { return core.New() }},
 		{"WFQ", func() sched.Interface { return sched.NewWFQ(1e6) }},
 		{"SCFQ", func() sched.Interface { return sched.NewSCFQ() }},
+		// The PIFO layer must keep the flow core's O(log B) and 0 allocs/op:
+		// a classic rank function (SFQ) and a UPS discipline (LSTF).
+		{"PIFO-SFQ", func() sched.Interface { return sched.MustNew("pifo-sfq") }},
+		{"LSTF", func() sched.Interface { return sched.MustNew("lstf") }},
 	}
 	for _, a := range algos {
 		for _, nf := range []int{1000, 10000, 100000} {

@@ -7,7 +7,7 @@
 // With no ids it runs everything in paper order. Available ids:
 //
 //	table1 example1 example2 fig1b fig2a fig2b fig3b scfqdelay wfqdelta
-//	example3 delayshift residual e2ebound ebftail genrate bounds ablation-tie ablation-clock ablation-hier chaos
+//	example3 delayshift residual e2ebound ebftail genrate bounds ablation-tie ablation-clock ablation-hier chaos ups-replay
 //
 // -scale shrinks or grows the simulated durations/budgets (1.0 = the
 // paper's parameters); -seed sets the RNG seed for the stochastic
@@ -91,11 +91,12 @@ func runnerTable(scale float64, seed int64) (map[string]func() *experiments.Resu
 		"ablation-clock": func() *experiments.Result { return experiments.AblationWFQClock(seed) },
 		"ablation-hier":  func() *experiments.Result { return experiments.AblationHierarchyOverhead(seed) },
 		"chaos":          func() *experiments.Result { return experiments.FaultContrast(seed) },
+		"ups-replay":     func() *experiments.Result { return experiments.UPSReplay(seed) },
 	}
 	order := []string{"table1", "example1", "example2", "fig1b", "fig2a",
 		"fig2b", "fig3b", "scfqdelay", "wfqdelta", "example3", "delayshift",
 		"residual", "e2ebound", "ebftail", "genrate", "bounds",
-		"ablation-tie", "ablation-clock", "ablation-hier", "chaos"}
+		"ablation-tie", "ablation-clock", "ablation-hier", "chaos", "ups-replay"}
 	return runners, order
 }
 

@@ -8,7 +8,9 @@
 //	       -pkt 500 -load 1.5 -dur 10
 //
 // Schedulers: any name in the sched registry (sfq, flowsfq, hsfq, wfq,
-// fqs, scfq, drr, vc, edd, fifo, fa, ...); run with -sched help to list.
+// fqs, scfq, drr, vc, edd, fifo, fa, ...), including the PIFO layer's
+// rank-function re-expressions and UPS disciplines (pifo-sfq, pifo-wfq,
+// lstf, srpt, fifo+, ...); run with -sched help to list.
 // Servers: const, onoff, slotted, markov.
 //
 // Observability (all optional; the default output is unchanged):
@@ -31,6 +33,7 @@ import (
 	"repro/internal/eventq"
 	"repro/internal/fairness"
 	"repro/internal/obs"
+	_ "repro/internal/pifo" // registers the PIFO/UPS disciplines
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sim"

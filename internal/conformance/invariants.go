@@ -92,6 +92,60 @@ func CheckDeqTagMonotone(tr *Trace, name string, key func(*sched.Packet) float64
 	return nil
 }
 
+// CheckSRPTService asserts the SRPT discipline: every dequeue serves a
+// flow whose queued backlog (in bytes, the PIFO layer's remaining-service
+// proxy) is minimal among the backlogged flows at that instant. The
+// backlog is reconstructed by merging the enqueue and dequeue streams on
+// the recorder's operation counter — the exact interleaving the scheduler
+// saw — and replaying the same additions and subtractions the scheduler's
+// own byte accounting performs, so the comparison is float-exact. Ties are
+// allowed: equal backlogs may be served in either order.
+func CheckSRPTService(tr *Trace) error {
+	bytes := make(map[int]float64)
+	count := make(map[int]int)
+	ei := 0
+	for di, st := range tr.Deq {
+		for ei < len(tr.Enq) && tr.Enq[ei].Op < st.Op {
+			p := tr.Enq[ei].P
+			bytes[p.Flow] += p.Length
+			count[p.Flow]++
+			ei++
+		}
+		served := st.P.Flow
+		for flow, b := range bytes {
+			if flow != served && count[flow] > 0 && b < bytes[served] {
+				return fmt.Errorf("SRPT: dequeue %d served flow %d with %v B backlogged while flow %d had only %v B",
+					di, served, bytes[served], flow, b)
+			}
+		}
+		bytes[served] -= st.P.Length
+		count[served]--
+		if count[served] == 0 {
+			bytes[served] = 0 // mirror the flow core: a drained flow carries no float residue
+		}
+	}
+	return nil
+}
+
+// CheckAggregateFIFO asserts FIFO across the whole aggregate, not just
+// within flows: the i-th packet served is the i-th packet enqueued. This
+// is what FIFO+ must degenerate to at a single hop when every packet
+// carries zero accumulated slack — its rank is then the arrival clock,
+// nondecreasing over the run, so the PIFO pops in push order.
+func CheckAggregateFIFO(tr *Trace) error {
+	if len(tr.Enq) != len(tr.Deq) {
+		return fmt.Errorf("aggregate FIFO: %d enqueues but %d dequeues", len(tr.Enq), len(tr.Deq))
+	}
+	for i := range tr.Deq {
+		e, d := tr.Enq[i].P, tr.Deq[i].P
+		if d != e {
+			return fmt.Errorf("aggregate FIFO: dequeue %d served flow %d seq %d; arrival order says flow %d seq %d",
+				i, d.Flow, d.Seq, e.Flow, e.Seq)
+		}
+	}
+	return nil
+}
+
 // CheckWorkConserving asserts the server never idled while packets were
 // queued: whenever a transmission ended with backlog remaining, the next
 // transmission started immediately, and transmissions never overlapped.

@@ -50,6 +50,8 @@ type sut struct {
 	thm4      bool // Theorem 4 delay guarantee (SFQ family)
 	eq56      bool // SCFQ delay bound
 	pgps      bool // GPS fluid oracle comparison (WFQ)
+	srpt      bool // shortest-remaining-backlog-first service (SRPT)
+	aggFIFO   bool // aggregate arrival-order service (FIFO+ at one hop)
 	delayName string
 	delay     func(w Workload) func(eat float64, p *sched.Packet, rf float64) float64
 	tagName   string
@@ -64,8 +66,9 @@ var (
 
 func sfqThm1(Workload) func(lf, rf, lm, rm float64) float64 { return qos.SFQFairnessBound }
 
-func startTag(p *sched.Packet) float64  { return p.VirtualStart }
-func finishTag(p *sched.Packet) float64 { return p.VirtualFinish }
+func startTag(p *sched.Packet) float64    { return p.VirtualStart }
+func finishTag(p *sched.Packet) float64   { return p.VirtualFinish }
+func deadlineTag(p *sched.Packet) float64 { return p.Deadline }
 
 // drrQuantum sizes DRR's per-unit-weight quantum so every flow's quantum
 // covers its largest packet (the regime DRR's O(1) analysis assumes).
@@ -189,6 +192,49 @@ func suts() []sut {
 			name: "priority-scfq", make: mk("priority-scfq"),
 			kinds: allKinds,
 		},
+		// The PIFO re-expressions (internal/pifo) of the tag-based family.
+		// Each carries the same checker set as its hand-written counterpart;
+		// TestPIFOEquivalence additionally pins the schedules bit-identical.
+		{
+			name: "pifo-sfq", make: mk("pifo-sfq"),
+			kinds: allKinds, thm1: sfqThm1, thm2: true, thm4: true,
+			tagName: "start tag", tagKey: startTag, ref: refExact,
+		},
+		{
+			name: "pifo-scfq", make: mk("pifo-scfq"),
+			kinds: allKinds, thm1: sfqThm1, eq56: true,
+			tagName: "finish tag", tagKey: finishTag,
+		},
+		{
+			name: "pifo-wfq", make: func(w Workload) sched.Interface {
+				return sched.MustNew("pifo-wfq", sched.WithAssumedCapacity(w.C))
+			},
+			kinds: noRateKinds, pgps: true, delayName: "WFQ delay", delay: wfqDelay,
+		},
+		{
+			name: "pifo-vclock", make: mk("pifo-vclock"),
+			kinds: allKinds, delayName: "Virtual Clock delay", delay: wfqDelay,
+		},
+		{
+			name: "pifo-edd", make: mk("pifo-edd"),
+			kinds: allKinds,
+		},
+		// The UPS disciplines. LSTF with unset slacks falls back to a
+		// per-flow default, so only the generic invariants apply; SRPT and
+		// FIFO+ each get their defining service-order checker.
+		{
+			name: "lstf", make: mk("lstf"),
+			kinds: allKinds,
+		},
+		{
+			name: "srpt", make: mk("srpt"),
+			kinds: allKinds, srpt: true,
+		},
+		{
+			name: "fifo+", make: mk("fifo+"),
+			kinds: allKinds, aggFIFO: true,
+			tagName: "deadline", tagKey: deadlineTag,
+		},
 	}
 }
 
@@ -245,6 +291,16 @@ func runOne(s sut, seed int64) error {
 	}
 	if s.pgps {
 		if err := CheckPGPS(tr, mon, w); err != nil {
+			return err
+		}
+	}
+	if s.srpt {
+		if err := CheckSRPTService(tr); err != nil {
+			return err
+		}
+	}
+	if s.aggFIFO {
+		if err := CheckAggregateFIFO(tr); err != nil {
 			return err
 		}
 	}

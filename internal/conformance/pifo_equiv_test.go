@@ -1,0 +1,89 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// This file is the differential half of the PIFO layer's certification:
+// every classic discipline re-expressed as a pifo rank function
+// (internal/pifo/classic.go) must produce the *bit-identical* schedule of
+// its hand-written counterpart — same service order, same timestamps, same
+// eq (4)–(5) tags — across the same three regimes the flow-core pin uses
+// (healthy, wide, chaos). The hand-written schedulers thereby stay in the
+// tree as differential oracles for the programmable layer, and the golden
+// digests in testdata/flowcore_digests.json cover both constructions.
+
+// pifoEquivPairs lists (hand-written sut, PIFO sut) by sut-table name,
+// plus one off-table pair for the low-weight-first tie rule, which the
+// registry reaches through WithTieBreak rather than a separate name.
+func pifoEquivPairs() [][2]sut {
+	byName := make(map[string]sut)
+	for _, s := range suts() {
+		byName[s.name] = s
+	}
+	pairs := [][2]sut{
+		{byName["sfq"], byName["pifo-sfq"]},
+		{byName["scfq"], byName["pifo-scfq"]},
+		{byName["vclock"], byName["pifo-vclock"]},
+		{byName["edd"], byName["pifo-edd"]},
+		{byName["wfq"], byName["pifo-wfq"]},
+	}
+	lowWeight := sut{
+		name: "pifo-sfq-lowweight",
+		make: func(Workload) sched.Interface {
+			return sched.MustNew("pifo-sfq", sched.WithTieBreak(sched.TieLowWeightFirst))
+		},
+		kinds: byName["sfq-lowweight"].kinds,
+	}
+	pairs = append(pairs, [2]sut{byName["sfq-lowweight"], lowWeight})
+	return pairs
+}
+
+// TestPIFOEquivalence sweeps every pair through the healthy, wide, and
+// chaos digest functions and requires equality seed by seed. Digest
+// equality is the full transcript — dequeue order, tags to 17 significant
+// digits, sink totals (and for chaos, the fault plan's delivery audit) —
+// so this is the RunMatrix-style replacement for eyeballing schedules.
+func TestPIFOEquivalence(t *testing.T) {
+	regimes := []struct {
+		name   string
+		seeds  int64
+		digest func(s sut, seed int64) (string, error)
+	}{
+		{"healthy", flowCoreHealthySeeds, healthyFlowDigest},
+		{"wide", flowCoreWideSeeds, wideFlowDigest},
+		{"chaos", flowCoreChaosSeeds, chaosFlowDigest},
+	}
+	for _, pair := range pifoEquivPairs() {
+		hand, via := pair[0], pair[1]
+		t.Run(hand.name+"="+via.name, func(t *testing.T) {
+			t.Parallel()
+			if len(hand.kinds) != len(via.kinds) {
+				t.Fatalf("kind sets differ (%d vs %d); the pair would not see the same workloads",
+					len(hand.kinds), len(via.kinds))
+			}
+			for _, reg := range regimes {
+				seeds := reg.seeds
+				if testing.Short() {
+					seeds = 4
+				}
+				for seed := int64(0); seed < seeds; seed++ {
+					dh, err := reg.digest(hand, seed)
+					if err != nil {
+						t.Fatalf("%s seed %d (%s): %v", reg.name, seed, hand.name, err)
+					}
+					dv, err := reg.digest(via, seed)
+					if err != nil {
+						t.Fatalf("%s seed %d (%s): %v", reg.name, seed, via.name, err)
+					}
+					if dh != dv {
+						t.Errorf("%s seed %d: %s diverged from %s (schedule digests differ)",
+							reg.name, seed, via.name, hand.name)
+					}
+				}
+			}
+		})
+	}
+}

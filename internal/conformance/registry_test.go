@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/pifo"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -53,6 +54,16 @@ func directConstructors() map[string]func(w Workload) sched.Interface {
 		"edd":           func(Workload) sched.Interface { return sched.NewEDD() },
 		"fairairport":   func(Workload) sched.Interface { return sched.NewFairAirport() },
 		"priority-scfq": func(Workload) sched.Interface { return sched.NewPriority(sched.NewSCFQ()) },
+		"pifo-sfq":      func(Workload) sched.Interface { return pifo.MustNew(pifo.SFQ(sched.TieFIFO), sched.Config{}) },
+		"pifo-scfq":     func(Workload) sched.Interface { return pifo.MustNew(pifo.SCFQ(), sched.Config{}) },
+		"pifo-vclock":   func(Workload) sched.Interface { return pifo.MustNew(pifo.VClock(), sched.Config{}) },
+		"pifo-edd":      func(Workload) sched.Interface { return pifo.MustNew(pifo.EDD(), sched.Config{}) },
+		"pifo-wfq": func(w Workload) sched.Interface {
+			return pifo.MustNew(pifo.WFQ(false), sched.Config{AssumedCapacity: w.C})
+		},
+		"lstf":  func(Workload) sched.Interface { return pifo.MustNew(pifo.LSTF(), sched.Config{}) },
+		"srpt":  func(Workload) sched.Interface { return pifo.MustNew(pifo.SRPT(), sched.Config{}) },
+		"fifo+": func(Workload) sched.Interface { return pifo.MustNew(pifo.FIFOPlus(), sched.Config{}) },
 	}
 }
 
@@ -72,6 +83,16 @@ func registryConstructors() map[string]func(w Workload) sched.Interface {
 		"edd":           mk("edd"),
 		"fairairport":   mk("fairairport"),
 		"priority-scfq": mk("priority-scfq"),
+		"pifo-sfq":      mk("pifo-sfq"),
+		"pifo-scfq":     mk("pifo-scfq"),
+		"pifo-vclock":   mk("pifo-vclock"),
+		"pifo-edd":      mk("pifo-edd"),
+		"pifo-wfq": func(w Workload) sched.Interface {
+			return sched.MustNew("pifo-wfq", sched.WithAssumedCapacity(w.C))
+		},
+		"lstf":  mk("lstf"),
+		"srpt":  mk("srpt"),
+		"fifo+": mk("fifo+"),
 	}
 }
 
@@ -112,10 +133,20 @@ func TestRegistryRoundTrip(t *testing.T) {
 	}
 }
 
-// TestRegistryCoversAllSuts pins the sut table to the registry: every
-// discipline the conformance matrix certifies must be constructible by
-// name, and the registry must not silently grow disciplines the matrix
-// never sees.
+// sutRegistryName maps a sut-table name to the registry name it covers.
+// The only divergence is hsfq: its sut row is named "hsfq-flat" because the
+// matrix exercises it as a degenerate flat tree.
+func sutRegistryName(sutName string) string {
+	if sutName == "hsfq-flat" {
+		return "hsfq"
+	}
+	return sutName
+}
+
+// TestRegistryCoversAllSuts pins the sut table, the round-trip constructor
+// tables, and the tag-monotonicity specs to the registry: registering a
+// discipline without wiring it into the conformance matrix must fail this
+// test with the missing names listed, not silently shrink coverage.
 func TestRegistryCoversAllSuts(t *testing.T) {
 	names := sched.Names()
 	registered := make(map[string]bool, len(names))
@@ -127,14 +158,57 @@ func TestRegistryCoversAllSuts(t *testing.T) {
 			t.Errorf("constructor table references unregistered discipline %q", name)
 		}
 	}
-	// Registered names with no conformance coverage: "priority" (the bare
-	// combinator, covered through priority-scfq) and aliases. Everything
-	// else must be in the round-trip table.
+	// Exemptions, per kind of coverage. aliases resolve to the same factory
+	// as their primary name; "priority" is the bare combinator (covered
+	// through priority-scfq). The tag exemptions are disciplines with no
+	// packet-visible tag to assert: their per-flow key monotonicity is
+	// structural (FIFO/DRR round-robin keys, HSFQ's internal tree).
+	aliases := map[string]bool{"vc": true, "fa": true, "fifoplus": true}
+	noSut := map[string]bool{"priority": true}
+	noTag := map[string]bool{"priority": true, "hsfq": true, "drr": true, "fifo": true}
+
+	sutFor := make(map[string]bool)
+	for _, s := range suts() {
+		sutFor[sutRegistryName(s.name)] = true
+	}
+	specFor := make(map[string]bool)
+	for name := range tagMonoSpecs() {
+		specFor[sutRegistryName(name)] = true
+	}
 	covered := registryConstructors()
-	exempt := map[string]bool{"priority": true, "vc": true, "fa": true}
+	var missingSut, missingRoundTrip, missingSpec []string
 	for _, n := range names {
-		if covered[n] == nil && !exempt[n] {
-			t.Errorf("registered discipline %q has no conformance round-trip coverage", n)
+		if aliases[n] {
+			continue
+		}
+		if !sutFor[n] && !noSut[n] {
+			missingSut = append(missingSut, n)
+		}
+		if covered[n] == nil && !noSut[n] {
+			missingRoundTrip = append(missingRoundTrip, n)
+		}
+		if !specFor[n] && !noTag[n] {
+			missingSpec = append(missingSpec, n)
+		}
+	}
+	if len(missingSut) > 0 {
+		t.Errorf("registered disciplines missing a conformance sut row: %v", missingSut)
+	}
+	if len(missingRoundTrip) > 0 {
+		t.Errorf("registered disciplines missing round-trip constructor coverage: %v", missingRoundTrip)
+	}
+	if len(missingSpec) > 0 {
+		t.Errorf("registered disciplines missing a tagMonoSpec (add one or document the exemption): %v", missingSpec)
+	}
+	// Sut rows and specs must not reference names the registry lacks.
+	for _, s := range suts() {
+		if !registered[sutRegistryName(s.name)] {
+			t.Errorf("sut row %q does not correspond to a registered discipline", s.name)
+		}
+	}
+	for name := range tagMonoSpecs() {
+		if !registered[sutRegistryName(name)] {
+			t.Errorf("tagMonoSpec %q does not correspond to a registered discipline", name)
 		}
 	}
 	// And unknown names fail loudly, listing what exists.

@@ -32,7 +32,6 @@ type tagMonoSpec struct {
 // core or a round-robin ring, but their monotonicity is structural (FIFO
 // keys are a constant zero), so there is nothing packet-visible to assert.
 func tagMonoSpecs() map[string]tagMonoSpec {
-	deadline := func(p *sched.Packet) float64 { return p.Deadline }
 	return map[string]tagMonoSpec{
 		"sfq":           {"start tag", startTag},   // S(j+1) = max{v, F(j)} >= F(j) > S(j), eq (4)
 		"sfq-lowweight": {"start tag", startTag},   // same recurrence; only the tie rule differs
@@ -41,9 +40,21 @@ func tagMonoSpecs() map[string]tagMonoSpec {
 		"wfq":           {"finish tag", finishTag}, // GPS finish times are per-flow increasing
 		"fqs":           {"start tag", startTag},   // schedules by GPS start times
 		"vclock":        {"finish tag", finishTag}, // VC stamp advances by l/r per packet
-		"edd":           {"deadline", deadline},    // eat strictly increases while d_f is fixed
+		"edd":           {"deadline", deadlineTag}, // eat strictly increases while d_f is fixed
 		"fairairport":   {"start tag", startTag},   // nondecreasing; rule 5 permits equality
 		"priority-scfq": {"finish tag", finishTag}, // each flow lives in one SCFQ level
+		// PIFO re-expressions: same recurrences, same monotone tags.
+		"pifo-sfq":    {"start tag", startTag},
+		"pifo-scfq":   {"finish tag", finishTag},
+		"pifo-wfq":    {"finish tag", finishTag},
+		"pifo-vclock": {"finish tag", finishTag},
+		"pifo-edd":    {"deadline", deadlineTag},
+		// UPS disciplines: the stamped rank (LSTF/FIFO+: post-clamp
+		// now+slack, nondecreasing per flow because the arrival clock is;
+		// SRPT: the flow's cumulative byte count, strictly increasing).
+		"lstf":  {"deadline", deadlineTag},
+		"srpt":  {"deadline", deadlineTag},
+		"fifo+": {"deadline", deadlineTag},
 	}
 }
 

@@ -8,9 +8,14 @@ import (
 )
 
 // Stamp records one scheduler operation: the packet and the scheduler
-// clock at which the operation happened.
+// clock at which the operation happened. Op is a per-run global operation
+// counter (shared between enqueues and dequeues), so checkers that need
+// the exact interleaving of the two streams — the SRPT and aggregate-FIFO
+// service checks — can merge them without guessing how same-instant
+// operations were ordered.
 type Stamp struct {
 	Now float64
+	Op  int64
 	P   *sched.Packet
 }
 
@@ -28,6 +33,7 @@ type Trace struct {
 type recorder struct {
 	inner sched.Interface
 	tr    *Trace
+	op    int64
 }
 
 // Record wraps sch so that every successful Enqueue/Dequeue is appended
@@ -46,14 +52,16 @@ func (r *recorder) Enqueue(now float64, p *sched.Packet) error {
 	if err := r.inner.Enqueue(now, p); err != nil {
 		return err
 	}
-	r.tr.Enq = append(r.tr.Enq, Stamp{Now: now, P: p})
+	r.op++
+	r.tr.Enq = append(r.tr.Enq, Stamp{Now: now, Op: r.op, P: p})
 	return nil
 }
 
 func (r *recorder) Dequeue(now float64) (*sched.Packet, bool) {
 	p, ok := r.inner.Dequeue(now)
 	if ok {
-		r.tr.Deq = append(r.tr.Deq, Stamp{Now: now, P: p})
+		r.op++
+		r.tr.Deq = append(r.tr.Deq, Stamp{Now: now, Op: r.op, P: p})
 	}
 	return p, ok
 }

@@ -77,5 +77,6 @@ func All(scale float64, seed int64) []*Result {
 		AblationWFQClock(seed),
 		AblationHierarchyOverhead(seed),
 		FaultContrast(seed),
+		UPSReplay(seed),
 	}
 }

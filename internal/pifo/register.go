@@ -1,0 +1,35 @@
+package pifo
+
+import "repro/internal/sched"
+
+// init registers the PIFO re-expressions of the tag-based family (pinned
+// bit-identical to their hand-written counterparts by the conformance
+// differential sweeps) and the UPS disciplines. Importing this package —
+// as cmd/sfqsim, cmd/experiments, and the conformance suite do — makes
+// all of them constructible by name.
+func init() {
+	sched.Register("pifo-sfq", func(cfg sched.Config) (sched.Interface, error) {
+		return New(SFQ(cfg.Tie), cfg)
+	})
+	sched.Register("pifo-scfq", func(cfg sched.Config) (sched.Interface, error) {
+		return New(SCFQ(), cfg)
+	})
+	sched.Register("pifo-vclock", func(cfg sched.Config) (sched.Interface, error) {
+		return New(VClock(), cfg)
+	})
+	sched.Register("pifo-edd", func(cfg sched.Config) (sched.Interface, error) {
+		return New(EDD(), cfg)
+	})
+	sched.Register("pifo-wfq", func(cfg sched.Config) (sched.Interface, error) {
+		return New(WFQ(false), cfg) // requires WithAssumedCapacity, like wfq
+	})
+	sched.Register("lstf", func(cfg sched.Config) (sched.Interface, error) {
+		return New(LSTF(), cfg)
+	})
+	sched.Register("srpt", func(cfg sched.Config) (sched.Interface, error) {
+		return New(SRPT(), cfg)
+	})
+	sched.Register("fifo+", func(cfg sched.Config) (sched.Interface, error) {
+		return New(FIFOPlus(), cfg)
+	}, "fifoplus")
+}

@@ -1,0 +1,245 @@
+package pifo
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// State is the scheduler-level context a discipline reads and updates: the
+// clock of the current operation, the discipline's virtual time, and (for
+// WFQ-style disciplines) the fluid GPS reference. The busy-period
+// bookkeeping (maxFinish/busy) mirrors the self-clocked schedulers' step 2:
+// at the end of a busy period v jumps to the maximum finish tag serviced.
+type State struct {
+	Now float64 // real time of the operation in progress
+	V   float64 // discipline-maintained system virtual time
+
+	// GPS is the fluid reference system, non-nil only when the discipline
+	// sets NeedsGPS (WFQ). It shares the scheduler's weights map.
+	GPS *sched.GPSRef
+
+	maxFinish float64
+	busy      bool
+}
+
+// Flow is the per-flow context handed to rank functions. The fields are a
+// union of what the repository's disciplines chain per flow; each rank
+// function uses the ones its recurrence needs and ignores the rest.
+type Flow struct {
+	ID     int
+	Weight float64 // registered weight (bytes/s)
+
+	LastFinish float64 // F(p_f^{j-1}): SFQ/SCFQ/WFQ finish-tag chain
+	EAT        float64 // expected arrival chain: Virtual Clock, Delay EDD
+	Deadline   float64 // d_f for EDD; the default slack for LSTF
+	Cum        float64 // cumulative enqueued bytes (SRPT's monotone tag)
+}
+
+// Discipline is a scheduling discipline expressed against the PIFO: a Rank
+// function plus optional hooks. Only Rank is mandatory; everything else
+// defaults to "no-op", which is exactly right for stateless ranks (FIFO+).
+type Discipline struct {
+	Name string
+
+	// Rank computes the PIFO rank (key, sub) for p arriving on flow f with
+	// effective rate r (eq 36: per-packet rate if set, else the weight).
+	// It may stamp tags on p and update f's chains; it runs after the
+	// Advance hook, so State.V / State.GPS are current.
+	Rank func(st *State, f *Flow, r float64, p *sched.Packet) (key, sub float64)
+
+	// OnServe is the virtual-time update hook: it fires when p is popped
+	// for service (SFQ sets v to p's start tag, SCFQ to its finish tag).
+	OnServe func(st *State, p *sched.Packet)
+
+	// OnIdle fires on a Dequeue that finds the queue empty — the end of a
+	// busy period (the self-clocked disciplines jump v to maxFinish).
+	OnIdle func(st *State)
+
+	// Advance runs before every Enqueue's Rank and every Dequeue's pop,
+	// moving time-driven state to now (WFQ's fluid GPS advance).
+	Advance func(st *State, now float64)
+
+	// AfterEnqueue / AfterDequeue fire after the queue operation, for
+	// flow-level dynamic ranks (SRPT rewrites the flow's rank to its new
+	// remaining backlog via Queue.SetFlowRank).
+	AfterEnqueue func(st *State, q *Queue, f *Flow, p *sched.Packet)
+	AfterDequeue func(st *State, q *Queue, f *Flow, p *sched.Packet)
+
+	// OnAddFlow fires when a flow is registered or re-weighted, to derive
+	// per-flow defaults (LSTF's default slack).
+	OnAddFlow func(st *State, f *Flow)
+
+	// NeedsGPS requests a fluid GPS reference at Config.AssumedCapacity;
+	// construction fails without a positive capacity.
+	NeedsGPS bool
+
+	// StampRank copies the final — possibly clamped — primary key into
+	// p.Deadline after the push, so the rank a packet was actually queued
+	// under is observable (and checkable for per-flow monotonicity).
+	StampRank bool
+}
+
+// Sched drives a Discipline over a PIFO Queue; it implements
+// sched.Interface with the same O(log B) Enqueue/Dequeue and zero
+// steady-state allocations as the hand-written schedulers it re-expresses.
+type Sched struct {
+	d       Discipline
+	q       Queue
+	st      State
+	flows   map[int]*Flow
+	weights map[int]float64 // shared with the GPS reference when present
+	last    float64
+}
+
+// New builds a scheduler for d. cfg supplies the discipline-independent
+// knobs; only AssumedCapacity is consumed here (when d.NeedsGPS), rank
+// functions capture anything else at construction.
+func New(d Discipline, cfg sched.Config) (*Sched, error) {
+	if d.Rank == nil {
+		return nil, fmt.Errorf("%w: pifo discipline %q has no Rank function", sched.ErrBadConfig, d.Name)
+	}
+	s := &Sched{
+		d:       d,
+		flows:   make(map[int]*Flow),
+		weights: make(map[int]float64),
+	}
+	if d.NeedsGPS {
+		if cfg.AssumedCapacity <= 0 {
+			return nil, fmt.Errorf("%w: %s requires WithAssumedCapacity > 0", sched.ErrBadConfig, d.Name)
+		}
+		s.st.GPS = sched.NewGPSRef(cfg.AssumedCapacity, s.weights)
+	}
+	return s, nil
+}
+
+// MustNew is New for statically valid configurations; it panics on error.
+func MustNew(d Discipline, cfg sched.Config) *Sched {
+	s, err := New(d, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Discipline returns the discipline this scheduler runs (observability).
+func (s *Sched) Discipline() string { return s.d.Name }
+
+// Clamped reports how many enqueues the per-flow monotonizing clamp has
+// adjusted; zero for every discipline shipped in this package.
+func (s *Sched) Clamped() uint64 { return s.q.Clamped() }
+
+// V returns the system virtual time: the fluid GPS time for WFQ-style
+// disciplines, the discipline-maintained v otherwise.
+func (s *Sched) V() float64 {
+	if s.st.GPS != nil {
+		return s.st.GPS.V()
+	}
+	return s.st.V
+}
+
+// PacketPoolSafe reports that the scheduler retains no packet references
+// after Dequeue, so links may recycle packets through a PacketPool.
+func (s *Sched) PacketPoolSafe() bool { return true }
+
+// AddFlow registers flow (or re-weights it, keeping its tag chains — the
+// same semantics as FlowTable.Add).
+func (s *Sched) AddFlow(flow int, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("%w: flow %d weight %v", sched.ErrBadWeight, flow, weight)
+	}
+	f := s.flows[flow]
+	if f == nil {
+		f = &Flow{ID: flow}
+		s.flows[flow] = f
+	}
+	f.Weight = weight
+	s.weights[flow] = weight
+	if s.d.OnAddFlow != nil {
+		s.d.OnAddFlow(&s.st, f)
+	}
+	return nil
+}
+
+// RemoveFlow unregisters an idle flow — idle in the packet queue and, for
+// GPS-backed disciplines, in the fluid system too (mirroring WFQ).
+func (s *Sched) RemoveFlow(flow int) error {
+	if s.st.GPS != nil && s.st.GPS.Busy(flow) {
+		return sched.ErrFlowBusy
+	}
+	if _, ok := s.flows[flow]; !ok {
+		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, flow)
+	}
+	if s.q.FlowLen(flow) > 0 {
+		return fmt.Errorf("%w: %d", sched.ErrFlowBusy, flow)
+	}
+	delete(s.flows, flow)
+	delete(s.weights, flow)
+	if s.st.GPS != nil {
+		s.st.GPS.Forget(flow)
+	}
+	s.q.Drop(flow)
+	return nil
+}
+
+// Enqueue ranks p and pushes it into the PIFO.
+func (s *Sched) Enqueue(now float64, p *sched.Packet) error {
+	if now < s.last {
+		return sched.ErrTimeWentBack
+	}
+	s.last = now
+	f := s.flows[p.Flow]
+	if f == nil {
+		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, p.Flow)
+	}
+	if p.Length <= 0 {
+		return fmt.Errorf("%w: flow %d length %v", sched.ErrBadPacket, p.Flow, p.Length)
+	}
+	r := sched.EffRate(p, f.Weight)
+	if s.d.Advance != nil {
+		s.d.Advance(&s.st, now)
+	}
+	s.st.Now = now
+	key, sub := s.d.Rank(&s.st, f, r, p)
+	key, _, _ = s.q.Push(p.Flow, key, sub, p)
+	if s.d.StampRank {
+		p.Deadline = key
+	}
+	if s.d.AfterEnqueue != nil {
+		s.d.AfterEnqueue(&s.st, &s.q, f, p)
+	}
+	return nil
+}
+
+// Dequeue pops the minimum-rank packet and runs the discipline's
+// virtual-time update; an empty pop ends the busy period (OnIdle).
+func (s *Sched) Dequeue(now float64) (*sched.Packet, bool) {
+	if now > s.last {
+		s.last = now
+	}
+	if s.d.Advance != nil {
+		s.d.Advance(&s.st, now)
+	}
+	s.st.Now = now
+	if s.q.Len() == 0 {
+		if s.d.OnIdle != nil {
+			s.d.OnIdle(&s.st)
+		}
+		return nil, false
+	}
+	p := s.q.Pop()
+	if s.d.OnServe != nil {
+		s.d.OnServe(&s.st, p)
+	}
+	if s.d.AfterDequeue != nil {
+		s.d.AfterDequeue(&s.st, &s.q, s.flows[p.Flow], p)
+	}
+	return p, true
+}
+
+// Len returns the number of queued packets.
+func (s *Sched) Len() int { return s.q.Len() }
+
+// QueuedBytes returns the bytes queued for flow (exactly zero when idle:
+// the FlowQ byte accumulator resets on drain).
+func (s *Sched) QueuedBytes(flow int) float64 { return s.q.FlowBytes(flow) }

@@ -1,0 +1,87 @@
+package pifo
+
+import "repro/internal/sched"
+
+// The UPS disciplines of Mittal et al. (*Universal Packet Scheduling*,
+// PAPERS.md). Each is a few lines of rank function — the point of the PIFO
+// layer — and each exposes the knob UPS replay turns: a per-packet input
+// (Packet.Slack) that upstream state, or a recorded schedule, can set.
+
+// LSTF is Least Slack Time First: a packet arrives carrying a slack — the
+// time it can still afford to wait — and is ranked by now + slack, so the
+// packet closest to running out of slack is served first. (Ranking by the
+// absolute "slack deadline" is the standard arrival-time-invariant
+// formulation: at any instant the smallest now + slack is also the
+// smallest remaining slack, and the rank never changes while waiting.)
+//
+// Packets with no slack set fall back to the flow default 1/weight:
+// heavier flows run urgent. Mittal et al. prove LSTF is the natural
+// universal discipline — with slack initialized from a recorded schedule
+// it reproduces that schedule (Theorem 1 there); pifo/replay measures
+// exactly this, and the lstf conformance rows keep the discipline honest
+// as an ordinary scheduler too.
+func LSTF() Discipline {
+	return Discipline{
+		Name: "lstf",
+		OnAddFlow: func(st *State, f *Flow) {
+			f.Deadline = 1.0 / f.Weight
+		},
+		Rank: func(st *State, f *Flow, r float64, p *sched.Packet) (float64, float64) {
+			slack := p.Slack
+			if slack <= 0 {
+				slack = f.Deadline
+			}
+			return st.Now + slack, 0
+		},
+		StampRank: true, // p.Deadline = the slack deadline actually queued under
+	}
+}
+
+// SRPT is Shortest Remaining Processing Time at flow granularity: the flow
+// with the least backlog (remaining service demand, in bytes) is served
+// first, ties broken toward the lower flow id. The rank is *dynamic* —
+// every enqueue and dequeue changes some flow's backlog — so packets are
+// pushed under a constant key and the flow's competing rank is rewritten
+// through Queue.SetFlowRank afterwards; per-flow FIFO order is untouched.
+//
+// Rank stamps p.Deadline with the flow's cumulative enqueued bytes: a
+// strictly increasing per-flow sequence that makes the discipline's
+// conformance tag-monotonicity row meaningful even though the service key
+// itself is dynamic.
+func SRPT() Discipline {
+	return Discipline{
+		Name: "srpt",
+		Rank: func(st *State, f *Flow, r float64, p *sched.Packet) (float64, float64) {
+			f.Cum += p.Length
+			p.Deadline = f.Cum
+			return 0, 0
+		},
+		AfterEnqueue: srptRefresh,
+		AfterDequeue: srptRefresh,
+	}
+}
+
+// srptRefresh rewrites f's competing rank to its current remaining
+// backlog. After a dequeue that drained the flow it is a no-op
+// (SetFlowRank ignores idle flows).
+func srptRefresh(st *State, q *Queue, f *Flow, p *sched.Packet) {
+	q.SetFlowRank(f.ID, q.FlowBytes(f.ID), float64(f.ID))
+}
+
+// FIFOPlus is FIFO+ (Clark–Shenker–Zhang, via Mittal et al.): per-hop FIFO
+// on adjusted arrival times. A packet carries in Slack the age it has
+// accumulated upstream relative to its aggregate's average (zero at the
+// first hop), and is ranked by now + slack — so a packet that has been
+// unlucky so far jumps ahead of locally younger ones, keeping end-to-end
+// jitter of an aggregate low. At a single hop with no upstream history the
+// discipline degenerates to plain FIFO, which is exactly the per-hop
+// "FIFO within aggregate" invariant conformance checks for it.
+func FIFOPlus() Discipline {
+	return Discipline{
+		Name: "fifo+",
+		Rank: func(st *State, f *Flow, r float64, p *sched.Packet) (float64, float64) {
+			return st.Now + p.Slack, 0
+		},
+		StampRank: true, // p.Deadline = adjusted arrival time
+	}
+}

@@ -3,12 +3,54 @@ package sched_test
 import (
 	"testing"
 
+	_ "repro/internal/core" // registers the SFQ family
+	_ "repro/internal/pifo" // registers the PIFO/UPS disciplines
 	"repro/internal/sched"
 )
 
 // Exercises the bookkeeping paths the behavioural tests don't reach:
 // flow-removal on every algorithm, Peek, QueuedCount, constructor
-// validation, and Priority's default-level routing.
+// validation, Priority's default-level routing — and pins the registry's
+// name list, so new disciplines cannot land without showing up here and in
+// the conformance coverage test.
+
+// TestRegistryNamePin is the sched-side half of the coverage contract: the
+// full list of registered names (aliases included) is pinned, and a
+// mismatch fails listing exactly which names are missing or unexpected.
+// internal/conformance's TestRegistryCoversAllSuts then holds every pinned
+// name to a sut row and a tag-monotonicity spec.
+func TestRegistryNamePin(t *testing.T) {
+	want := []string{
+		"drr", "edd", "fa", "fairairport", "fifo", "fifo+", "fifoplus",
+		"flowsfq", "fqs", "hsfq", "lstf", "pifo-edd", "pifo-scfq",
+		"pifo-sfq", "pifo-vclock", "pifo-wfq", "priority", "priority-scfq",
+		"scfq", "sfq", "sfq-lowweight", "srpt", "vc", "vclock", "wfq",
+	}
+	got := sched.Names()
+	gotSet := make(map[string]bool, len(got))
+	for _, n := range got {
+		gotSet[n] = true
+	}
+	wantSet := make(map[string]bool, len(want))
+	var missing, extra []string
+	for _, n := range want {
+		wantSet[n] = true
+		if !gotSet[n] {
+			missing = append(missing, n)
+		}
+	}
+	for _, n := range got {
+		if !wantSet[n] {
+			extra = append(extra, n)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("registered names missing from the registry: %v", missing)
+	}
+	if len(extra) > 0 {
+		t.Errorf("unpinned registered names (add them here and to the conformance coverage): %v", extra)
+	}
+}
 
 func TestRemoveFlowEverywhere(t *testing.T) {
 	mks := map[string]func() sched.Interface{

@@ -165,6 +165,20 @@ func (fq *FlowQ) Push(pool *ChunkPool, key, sub float64, serial uint64, p *Packe
 	fq.bytes += p.Length
 }
 
+// SetHeadKey rewrites the front item's (key, sub) in place, leaving its
+// serial untouched. Callers must ensure Len() > 0 and must re-Fix the
+// owning FlowHeap afterwards.
+//
+// This is the dynamic-priority hook for *flow-level* disciplines (SRPT's
+// remaining-backlog rank changes on every enqueue and dequeue): the head
+// key then represents the flow's current priority rather than a per-packet
+// tag, so the per-flow monotonicity invariant — which constrains pushed
+// items, not head rewrites — still governs the FIFO behind it.
+func (fq *FlowQ) SetHeadKey(key, sub float64) {
+	fq.head.items[fq.hi].key = key
+	fq.head.items[fq.hi].sub = sub
+}
+
 // Pop removes and returns the front packet. Callers must ensure Len() > 0.
 // Fully consumed chunks return to the pool; the final chunk is kept cached
 // for the flow's next busy period.

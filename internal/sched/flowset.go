@@ -59,6 +59,22 @@ func (fs *FlowSet) PopMin() *Packet {
 	return p
 }
 
+// SetFlowKey rewrites the (key, sub) under which flow competes in the
+// cross-flow heap — the head item's key — and restores heap order, in
+// O(log B). No-op when the flow is idle. Flow-level dynamic-priority
+// disciplines (SRPT in internal/pifo) call it after every operation that
+// changes the flow's priority; tag-based disciplines never need it.
+func (fs *FlowSet) SetFlowKey(flow int, key, sub float64) {
+	q := fs.qs[flow]
+	if q == nil || q.n == 0 {
+		return
+	}
+	q.SetHeadKey(key, sub)
+	if q.heapIdx >= 0 {
+		fs.heap.Fix(q)
+	}
+}
+
 // Peek returns the packet that PopMin would return, and its key, without
 // removing it. Returns (nil, 0) when empty.
 func (fs *FlowSet) Peek() (*Packet, float64) {

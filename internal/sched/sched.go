@@ -32,6 +32,14 @@ type Packet struct {
 	// stores its frame here).
 	Payload any
 
+	// Slack is the per-packet scheduling input of the UPS disciplines
+	// (internal/pifo): the remaining slack for LSTF, the accumulated
+	// upstream offset for FIFO+. It is an *input* set by whoever injects
+	// the packet (the replay harness initializes it from a recorded
+	// schedule), unlike the tag fields below, which are outputs. 0 means
+	// "unset" and the discipline falls back to its per-flow default.
+	Slack float64
+
 	// Tags computed by the scheduler on Enqueue, exported for
 	// observability and tests. Their meaning depends on the algorithm:
 	// start/finish tags for the fair queuing family, timestamp for
