@@ -19,6 +19,18 @@
 //	-trace-cap N      trace ring capacity (newest N events are kept)
 //	-metrics FILE     write the metrics registry snapshot as JSON on exit
 //	-dump-every SEC   periodic expvar-style metrics dumps to stderr
+//
+// Live operations (internal/liveops):
+//
+//	-snapshot FILE        at t = -dur, write the scheduler state (flow
+//	                      registrations, virtual time, tag chains, queued
+//	                      backlog) as a versioned, digest-pinned envelope
+//	-restore FILE         before the run, load an envelope written by
+//	                      -snapshot into the (fresh, same -sched) scheduler;
+//	                      the restored backlog is adopted by the link and
+//	                      transmission continues where the snapshot stopped
+//	-set-weight F:W@T     at simulated time T, change flow F's weight to W
+//	                      live (repeatable, e.g. -set-weight 2:4.5@1.0)
 package main
 
 import (
@@ -32,6 +44,7 @@ import (
 	_ "repro/internal/core" // registers the SFQ family of schedulers
 	"repro/internal/eventq"
 	"repro/internal/fairness"
+	"repro/internal/liveops"
 	"repro/internal/obs"
 	_ "repro/internal/pifo" // registers the PIFO/UPS disciplines
 	"repro/internal/sched"
@@ -41,6 +54,49 @@ import (
 	"repro/internal/tracelog"
 	"repro/internal/units"
 )
+
+// weightEvent is one parsed -set-weight spec: flow F to weight W at time T.
+type weightEvent struct {
+	flow int
+	w    float64
+	at   float64
+}
+
+// weightEvents implements flag.Value for the repeatable -set-weight flag.
+type weightEvents []weightEvent
+
+func (e *weightEvents) String() string {
+	parts := make([]string, len(*e))
+	for i, ev := range *e {
+		parts[i] = fmt.Sprintf("%d:%g@%g", ev.flow, ev.w, ev.at)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (e *weightEvents) Set(s string) error {
+	spec, tPart, ok := strings.Cut(s, "@")
+	if !ok {
+		return fmt.Errorf("bad -set-weight %q: want flow:weight@time, e.g. 2:4.5@1.0", s)
+	}
+	fPart, wPart, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("bad -set-weight %q: missing ':' between flow and weight (want flow:weight@time)", s)
+	}
+	flow, err := strconv.Atoi(strings.TrimSpace(fPart))
+	if err != nil || flow < 1 {
+		return fmt.Errorf("bad -set-weight %q: flow %q must be a positive integer", s, fPart)
+	}
+	w, err := strconv.ParseFloat(strings.TrimSpace(wPart), 64)
+	if err != nil || w <= 0 {
+		return fmt.Errorf("bad -set-weight %q: weight %q must be a positive number", s, wPart)
+	}
+	at, err := strconv.ParseFloat(strings.TrimSpace(tPart), 64)
+	if err != nil || at < 0 {
+		return fmt.Errorf("bad -set-weight %q: time %q must be a non-negative number (seconds)", s, tPart)
+	}
+	*e = append(*e, weightEvent{flow: flow, w: w, at: at})
+	return nil
+}
 
 func main() {
 	var (
@@ -59,7 +115,11 @@ func main() {
 		traceCap   = flag.Int("trace-cap", obs.DefaultTraceCap, "trace ring capacity (events)")
 		metricsOut = flag.String("metrics", "", "write metrics snapshot JSON to this file ('-' = stdout)")
 		dumpEvery  = flag.Float64("dump-every", 0, "periodic metrics dump interval in simulated seconds (0 = off; dumps to stderr)")
+		snapFile   = flag.String("snapshot", "", "write a liveops state envelope of the scheduler at t=-dur to this file")
+		restFile   = flag.String("restore", "", "restore a liveops state envelope into the scheduler before the run")
 	)
+	var setWeights weightEvents
+	flag.Var(&setWeights, "set-weight", "live weight change as flow:weight@time (repeatable)")
 	flag.Parse()
 
 	if *schedName == "help" {
@@ -81,6 +141,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sfqsim:", err)
 		os.Exit(2)
 	}
+
+	// Validate the live-ops capabilities up front: a discipline that cannot
+	// snapshot or reconfigure should fail before the simulation, not at the
+	// scheduled event.
+	snap, isSnap := s.(sched.Snapshotter)
+	if (*snapFile != "" || *restFile != "") && !isSnap {
+		fmt.Fprintf(os.Stderr, "sfqsim: scheduler %q does not support snapshot/restore\n", *schedName)
+		os.Exit(2)
+	}
+	reconf, isReconf := s.(sched.Reconfigurable)
+	if len(setWeights) > 0 && !isReconf {
+		fmt.Fprintf(os.Stderr, "sfqsim: scheduler %q does not support live weight changes\n", *schedName)
+		os.Exit(2)
+	}
+	// base is the simulation start time: 0 normally, the snapshot's capture
+	// instant after a restore (discipline state carries wall-clock
+	// quantities, so the restored run resumes the donor's time base — the
+	// whole event script below is offset by it).
+	base := 0.0
+	if *restFile != "" {
+		data, err := os.ReadFile(*restFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfqsim:", err)
+			os.Exit(2)
+		}
+		env, err := liveops.Peek(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfqsim: restore %s: %v\n", *restFile, err)
+			os.Exit(2)
+		}
+		base = env.Time
+		if err := liveops.Restore(data, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "sfqsim: restore %s: %v\n", *restFile, err)
+			os.Exit(2)
+		}
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
 	proc, err := makeProcess(*serverKind, linkRate, rng)
 	if err != nil {
@@ -105,26 +202,77 @@ func main() {
 		}
 	}
 
+	// A restored scheduler already carries flow registrations (and possibly
+	// a queued backlog): adopt the backlog into the link's accounting and
+	// skip re-adding the restored flows, reporting their restored weights.
+	restored := map[int]float64{}
+	adopted := 0
+	if *restFile != "" {
+		if fl, ok := s.(sched.FlowLister); ok {
+			for _, info := range fl.ListFlows() {
+				restored[info.Flow] = info.Weight
+			}
+		}
+		// Adopt at base, once the clock has caught up with the donor's:
+		// the backlog's tags and guards live in the donor's time base.
+		q.At(base, func() { adopted = link.AdoptBacklog() })
+	}
+
+	// Live weight changes fire as simulation events (times are relative to
+	// the run start); failures — an unknown flow, a draining flow — abort
+	// the run after the queue finishes.
+	var liveErrs []error
+	for _, ev := range setWeights {
+		ev := ev
+		q.At(base+ev.at, func() {
+			if err := reconf.SetWeight(ev.flow, ev.w); err != nil {
+				liveErrs = append(liveErrs, fmt.Errorf("set-weight %d:%g@%g: %w", ev.flow, ev.w, ev.at, err))
+				return
+			}
+			if ev.flow <= *nFlows {
+				weights[ev.flow-1] = ev.w // final report shows the live weight
+			}
+		})
+	}
+	if *snapFile != "" {
+		q.At(base+*duration, func() {
+			data, err := liveops.SnapshotAt(q.Now(), snap)
+			if err == nil {
+				err = os.WriteFile(*snapFile, data, 0o644)
+			}
+			if err != nil {
+				liveErrs = append(liveErrs, fmt.Errorf("snapshot %s: %w", *snapFile, err))
+			}
+		})
+	}
+
+	for f := 1; f <= *nFlows; f++ {
+		if w, ok := restored[f]; ok {
+			weights[f-1] = w
+		}
+	}
 	sumW := 0.0
 	for _, w := range weights {
 		sumW += w
 	}
 	for f := 1; f <= *nFlows; f++ {
-		if err := s.AddFlow(f, weights[f-1]); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if _, ok := restored[f]; !ok {
+			if err := s.AddFlow(f, weights[f-1]); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		flowRate := *load * linkRate * weights[f-1] / sumW
 		switch *model {
 		case "poisson":
 			(&source.Poisson{Q: q, Out: link, Flow: f, Rate: flowRate, PktBytes: *pktBytes,
-				Start: 0, Stop: *duration, Rng: rand.New(rand.NewSource(rng.Int63()))}).Run()
+				Start: base, Stop: base + *duration, Rng: rand.New(rand.NewSource(rng.Int63()))}).Run()
 		case "cbr":
 			(&source.CBR{Q: q, Out: link, Flow: f, Rate: flowRate, PktBytes: *pktBytes,
-				Start: 0, Stop: *duration}).Run()
+				Start: base, Stop: base + *duration}).Run()
 		case "onoff":
 			(&source.OnOff{Q: q, Out: link, Flow: f, PeakRate: 2 * flowRate, PktBytes: *pktBytes,
-				MeanOn: 0.2, MeanOff: 0.2, Start: 0, Stop: *duration,
+				MeanOn: 0.2, MeanOff: 0.2, Start: base, Stop: base + *duration,
 				Rng: rand.New(rand.NewSource(rng.Int63()))}).Run()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown traffic model %q\n", *model)
@@ -133,8 +281,19 @@ func main() {
 	}
 	q.Run()
 
-	fmt.Printf("scheduler=%s server=%s link=%.2f Mb/s load=%.2f duration=%.1fs drops=%d\n\n",
+	for _, e := range liveErrs {
+		fmt.Fprintln(os.Stderr, "sfqsim:", e)
+	}
+	if len(liveErrs) > 0 {
+		os.Exit(1)
+	}
+
+	fmt.Printf("scheduler=%s server=%s link=%.2f Mb/s load=%.2f duration=%.1fs drops=%d\n",
 		*schedName, *serverKind, *rateMbps, *load, *duration, link.Drops())
+	if adopted > 0 {
+		fmt.Printf("restored %d queued packets from %s\n", adopted, *restFile)
+	}
+	fmt.Println()
 	fmt.Printf("%4s %8s %12s %12s %12s %12s\n",
 		"flow", "weight", "Mb/s", "avg ms", "p99 ms", "max ms")
 	for f := 1; f <= *nFlows; f++ {

@@ -90,6 +90,56 @@ func TestRemoveFlowBacklogged(t *testing.T) {
 	}
 }
 
+// TestRemoveBackloggedUniform pins the RemoveFlow error contract for EVERY
+// registered discipline, driven off the registry itself so a newly added
+// scheduler is covered the moment it registers: removing a backlogged flow
+// fails with a wrapped sched.ErrFlowBusy (uniform vocabulary — errors.Is,
+// not string matching), removal succeeds once drained, and unknown flows
+// fail with sched.ErrUnknownFlow.
+func TestRemoveBackloggedUniform(t *testing.T) {
+	opts := func(name string) []sched.Option {
+		switch name {
+		case "wfq", "fqs", "pifo-wfq":
+			return []sched.Option{sched.WithAssumedCapacity(1000)}
+		case "priority":
+			return []sched.Option{sched.WithLevels(sched.NewSCFQ())}
+		}
+		return nil
+	}
+	for _, name := range sched.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := sched.New(name, opts(name)...)
+			if err != nil {
+				t.Fatalf("registry construction: %v", err)
+			}
+			if err := s.AddFlow(1, 100); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Enqueue(0, &sched.Packet{Flow: 1, Seq: 1, Length: 50}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.RemoveFlow(1); !errors.Is(err, sched.ErrFlowBusy) {
+				t.Fatalf("removing backlogged flow: got %v, want wrapped ErrFlowBusy", err)
+			}
+			for i := 0; i < 64; i++ { // drain; large now lets fluid references go idle too
+				if _, ok := s.Dequeue(1e9 + float64(i)); !ok {
+					break
+				}
+			}
+			if err := s.RemoveFlow(1); err != nil {
+				t.Fatalf("removing drained flow: %v", err)
+			}
+			if err := s.RemoveFlow(1); !errors.Is(err, sched.ErrUnknownFlow) {
+				t.Fatalf("double removal: got %v, want wrapped ErrUnknownFlow", err)
+			}
+			if err := s.Enqueue(1e9+100, &sched.Packet{Flow: 1, Seq: 2, Length: 50}); !errors.Is(err, sched.ErrUnknownFlow) {
+				t.Fatalf("enqueue on removed flow: got %v, want wrapped ErrUnknownFlow", err)
+			}
+		})
+	}
+}
+
 // TestRemoveFlowPreservesTagChain pins the SFQ-specific hazard the audit
 // targeted: a FAILED RemoveFlow of a backlogged flow must not discard the
 // flow's finish-tag chain (eq 4 uses F(p_f^{j-1})), and a successful

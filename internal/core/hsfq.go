@@ -39,6 +39,8 @@ type HSFQ struct {
 	classes int  // id generator for interior nodes
 	chunks  sched.ChunkPool
 	seq     uint64 // leaf FIFO push serial (assert bookkeeping only)
+
+	draining sched.DrainSet
 }
 
 // Class is a node in the link-sharing tree. Interior classes aggregate
@@ -126,6 +128,9 @@ func (h *HSFQ) AddFlowTo(parent *Class, flow int, weight float64) error {
 	}
 	if _, dup := h.leaves[flow]; dup {
 		return fmt.Errorf("core: flow %d already attached", flow)
+	}
+	if h.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, flow)
 	}
 	if parent == nil {
 		parent = h.root
@@ -230,6 +235,9 @@ func (h *HSFQ) Enqueue(now float64, p *Packet) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, p.Flow)
 	}
+	if !h.draining.Empty() && h.draining.Draining(p.Flow) {
+		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, p.Flow)
+	}
 	if p.Length <= 0 {
 		return fmt.Errorf("%w: flow %d length %v", sched.ErrBadPacket, p.Flow, p.Length)
 	}
@@ -274,6 +282,9 @@ func (h *HSFQ) Dequeue(now float64) (*Packet, bool) {
 			h.busy = false
 			h.root.v = h.root.maxFinish
 		}
+		if !h.draining.Empty() {
+			h.finalizeDrains()
+		}
 		return nil, false
 	}
 	h.busy = true
@@ -283,6 +294,9 @@ func (h *HSFQ) Dequeue(now float64) (*Packet, bool) {
 		h.bytes[p.Flow] = 0 // exact zero for emptiness checks
 	}
 	h.total--
+	if !h.draining.Empty() {
+		h.finalizeDrains()
+	}
 	return p, true
 }
 

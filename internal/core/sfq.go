@@ -19,6 +19,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/sched"
@@ -60,6 +61,7 @@ type SFQ struct {
 	last       float64         // last time observed (monotonicity check)
 	tie        TieBreak
 	served     int64 // packets handed out, for observability
+	draining   sched.DrainSet
 }
 
 // New returns an empty SFQ scheduler with FIFO tie-breaking.
@@ -75,7 +77,12 @@ func NewTie(tie TieBreak) *SFQ {
 }
 
 // AddFlow registers flow with the given weight (bytes/second).
-func (s *SFQ) AddFlow(flow int, weight float64) error { return s.flows.Add(flow, weight) }
+func (s *SFQ) AddFlow(flow int, weight float64) error {
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, flow)
+	}
+	return s.flows.Add(flow, weight)
+}
 
 // RemoveFlow unregisters an idle flow. Its tag history is discarded, so a
 // re-added flow starts a fresh chain (F(p_f^0) = 0).
@@ -100,6 +107,9 @@ func (s *SFQ) Enqueue(now float64, p *Packet) error {
 	w, err := s.flows.CheckPacket(p)
 	if err != nil {
 		return err
+	}
+	if !s.draining.Empty() && s.draining.Draining(p.Flow) {
+		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, p.Flow)
 	}
 	r := sched.EffRate(p, w)
 	start := math.Max(s.v, s.lastFinish[p.Flow])
@@ -130,6 +140,9 @@ func (s *SFQ) Dequeue(now float64) (*Packet, bool) {
 			s.busy = false
 			s.v = s.maxFinish
 		}
+		if !s.draining.Empty() {
+			s.finalizeDrains()
+		}
 		return nil, false
 	}
 	p := s.fq.PopMin()
@@ -140,6 +153,9 @@ func (s *SFQ) Dequeue(now float64) (*Packet, bool) {
 	}
 	s.flows.OnDequeue(p)
 	s.served++
+	if !s.draining.Empty() {
+		s.finalizeDrains()
+	}
 	return p, true
 }
 

@@ -78,5 +78,6 @@ func All(scale float64, seed int64) []*Result {
 		AblationHierarchyOverhead(seed),
 		FaultContrast(seed),
 		UPSReplay(seed),
+		LiveOps(seed),
 	}
 }

@@ -1,0 +1,75 @@
+package liveops
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// FuzzSnapshotRestore throws arbitrary bytes at Restore. Valid envelopes
+// (the seeds, plus whatever mutations keep the digest intact) must load
+// into a scheduler that stays fully drivable and re-snapshotable; invalid
+// bytes must be rejected cleanly — never a panic, never a scheduler that
+// accepts a half-loaded schedule.
+func FuzzSnapshotRestore(f *testing.F) {
+	seed := sched.NewSCFQ()
+	if err := seed.AddFlow(1, 100); err != nil {
+		f.Fatal(err)
+	}
+	if err := seed.AddFlow(2, 300); err != nil {
+		f.Fatal(err)
+	}
+	now := 0.0
+	for i := 0; i < 40; i++ {
+		now += 0.002
+		if i%5 == 4 {
+			seed.Dequeue(now)
+			continue
+		}
+		p := &sched.Packet{Flow: i%2 + 1, Seq: int64(i), Length: float64(100 + i*13), Arrival: now}
+		if err := seed.Enqueue(now, p); err != nil {
+			f.Fatal(err)
+		}
+		if i == 10 || i == 25 || i == 38 {
+			data, err := Snapshot(seed)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"version":1,"kind":"sched/scfq","sha256":"","state":{}}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := sched.NewSCFQ()
+		if Restore(data, s) != nil {
+			return
+		}
+		// A restore that succeeded must leave a coherent scheduler: drive
+		// it and snapshot it again.
+		if err := s.AddFlow(99, 50); err != nil {
+			t.Fatalf("AddFlow on restored scheduler: %v", err)
+		}
+		tick := 1e9
+		for i := 0; i < 8; i++ {
+			tick += 0.001
+			p := &sched.Packet{Flow: 99, Seq: int64(i), Length: 200, Arrival: tick}
+			if err := s.Enqueue(tick, p); err != nil {
+				t.Fatalf("Enqueue on restored scheduler: %v", err)
+			}
+		}
+		for {
+			if _, ok := s.Dequeue(tick); !ok {
+				break
+			}
+		}
+		again, err := Snapshot(s)
+		if err != nil {
+			t.Fatalf("re-Snapshot after restore+drive: %v", err)
+		}
+		if err := Restore(again, sched.NewSCFQ()); err != nil {
+			t.Fatalf("second-generation restore: %v", err)
+		}
+	})
+}

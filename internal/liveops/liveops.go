@@ -1,0 +1,192 @@
+// Package liveops implements live operations on running schedulers:
+// versioned, digest-pinned snapshot/restore envelopes (fail over a link
+// into a fresh process without dropping its schedule), payload sidecars,
+// mid-run scheduler replacement (Swapper), and discipline hot-swap that
+// retags a live backlog through a new discipline's rank function.
+//
+// The paper's self-clocked design is what makes all of this well-posed:
+// SFQ's fairness (Theorem 1) holds for any service the scheduler
+// receives, so pausing a link at an arbitrary event, moving its state,
+// and resuming — or changing weights mid-backlog — never breaks the
+// post-change fairness bounds. The snapshot machinery itself lives with
+// each discipline (sched.Snapshotter); this package wraps it in a
+// self-validating envelope and the operational choreography around it.
+package liveops
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Version is the envelope format version this package writes.
+const Version = 1
+
+// Envelope is the on-disk snapshot format: a version, the scheduler's
+// state kind (restore refuses a mismatched discipline), the SHA-256 of
+// the state bytes (restore refuses tampering or truncation before the
+// per-discipline validators even run), and the state itself.
+type Envelope struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	SHA256  string `json:"sha256"`
+	// Time is the wall-clock instant of the capture (0 when unknown).
+	// Discipline state contains wall-clock quantities — monotonicity
+	// guards, Virtual Clock EAT chains, EDD deadlines — so a process
+	// restoring into a fresh clock must resume its time base at or after
+	// Time (cmd/sfqsim offsets its whole event script by it).
+	Time  float64         `json:"time,omitempty"`
+	State json.RawMessage `json:"state"`
+}
+
+// Snapshot captures s into a self-validating envelope with no recorded
+// capture time — for restores that keep the original time base (failover
+// inside one simulation). Payloads of queued packets are NOT captured —
+// carry them with CapturePayloads.
+func Snapshot(s sched.Snapshotter) ([]byte, error) { return SnapshotAt(0, s) }
+
+// SnapshotAt is Snapshot with the capture instant recorded in the
+// envelope, for restores into a process whose clock restarts.
+func SnapshotAt(now float64, s sched.Snapshotter) ([]byte, error) {
+	state, err := s.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(state)
+	return json.Marshal(Envelope{
+		Version: Version,
+		Kind:    s.StateKind(),
+		SHA256:  hex.EncodeToString(sum[:]),
+		Time:    now,
+		State:   state,
+	})
+}
+
+// Peek decodes and digest-checks an envelope without restoring it, for
+// callers that need its metadata (Kind, Time) before building a scheduler.
+func Peek(data []byte) (*Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: envelope: %v", sched.ErrBadState, err)
+	}
+	if env.Version != Version {
+		return nil, fmt.Errorf("%w: envelope version %d, want %d", sched.ErrBadState, env.Version, Version)
+	}
+	sum := sha256.Sum256(env.State)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, fmt.Errorf("%w: envelope digest mismatch", sched.ErrBadState)
+	}
+	return &env, nil
+}
+
+// Restore loads an envelope produced by Snapshot into s, which must be a
+// freshly constructed scheduler of the same kind. The envelope's version,
+// kind, and digest are checked before any state reaches the scheduler;
+// every failure wraps sched.ErrBadState and leaves s unusable (discard
+// it), never holding a half-loaded schedule it would serve from.
+func Restore(data []byte, s sched.Snapshotter) error {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("%w: envelope: %v", sched.ErrBadState, err)
+	}
+	if env.Version != Version {
+		return fmt.Errorf("%w: envelope version %d, want %d", sched.ErrBadState, env.Version, Version)
+	}
+	if env.Kind != s.StateKind() {
+		return fmt.Errorf("%w: envelope kind %q does not match scheduler kind %q", sched.ErrBadState, env.Kind, s.StateKind())
+	}
+	sum := sha256.Sum256(env.State)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return fmt.Errorf("%w: envelope digest mismatch", sched.ErrBadState)
+	}
+	return s.RestoreState(env.State)
+}
+
+// CapturePayloads collects the queued packets' opaque payloads in the
+// scheduler's canonical VisitQueued order — the sidecar that travels next
+// to a snapshot (payloads are process-local values, so the envelope
+// itself never contains them).
+func CapturePayloads(s sched.Snapshotter) []any {
+	var out []any
+	s.VisitQueued(func(p *sched.Packet) { out = append(out, p.Payload) })
+	return out
+}
+
+// AttachPayloads reattaches a CapturePayloads sidecar onto a restored
+// scheduler's queued packets, in the same canonical order. The counts
+// must match exactly.
+func AttachPayloads(s sched.Snapshotter, payloads []any) error {
+	i := 0
+	s.VisitQueued(func(p *sched.Packet) {
+		if i < len(payloads) {
+			p.Payload = payloads[i]
+		}
+		i++
+	})
+	if i != len(payloads) {
+		return fmt.Errorf("%w: %d payloads for %d queued packets", sched.ErrBadState, len(payloads), i)
+	}
+	return nil
+}
+
+// Clone snapshots src and restores it — state, then payload sidecar —
+// into a fresh scheduler built by mk, returning the replica. This is the
+// kill-and-restore failover primitive: the replica continues the schedule
+// bit-identically (the conformance suite pins this for every discipline).
+func Clone(src sched.Snapshotter, mk func() sched.Interface) (sched.Interface, error) {
+	data, err := Snapshot(src)
+	if err != nil {
+		return nil, err
+	}
+	payloads := CapturePayloads(src)
+	fresh := mk()
+	snap, ok := fresh.(sched.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("%w: replacement %T does not support snapshots", sched.ErrBadState, fresh)
+	}
+	if err := Restore(data, snap); err != nil {
+		return nil, err
+	}
+	if err := AttachPayloads(snap, payloads); err != nil {
+		return nil, err
+	}
+	return fresh, nil
+}
+
+// HotSwap moves a running scheduler's registered flows and live backlog
+// from src into dst, retagging every queued packet through dst's own
+// rank computation: packets leave src in its service order (per-flow FIFO
+// by construction) and re-enter dst as fresh arrivals at time now, so
+// per-flow order, packet counts, and bytes are conserved while the
+// cross-flow schedule becomes dst's. For a PIFO destination the per-flow
+// monotonizing clamp is exactly the path that absorbs rank order the new
+// discipline would not itself have produced. Returns the number of
+// packets moved.
+//
+// src is left empty but registered; discard it. On error dst may hold a
+// partial backlog — discard both.
+func HotSwap(now float64, src, dst sched.Interface) (int, error) {
+	fl, ok := src.(sched.FlowLister)
+	if !ok {
+		return 0, fmt.Errorf("%w: source %T cannot enumerate flows", sched.ErrBadState, src)
+	}
+	for _, info := range fl.ListFlows() {
+		if err := dst.AddFlow(info.Flow, info.Weight); err != nil {
+			return 0, err
+		}
+	}
+	moved := 0
+	for {
+		p, ok := src.Dequeue(now)
+		if !ok {
+			return moved, nil
+		}
+		if err := dst.Enqueue(now, p); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+}

@@ -1,0 +1,246 @@
+package pifo
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// This file implements sched.Reconfigurable (live mutation) and
+// sched.Snapshotter (deterministic serialization) for the PIFO adapter,
+// covering every rank-function discipline at once. See
+// internal/sched/snapshot.go for the determinism contract.
+
+// FlowRankState is one backlogged flow's clamp-chain entry (the rank its
+// most recent push actually used).
+type FlowRankState struct {
+	Flow int     `json:"flow"`
+	Key  float64 `json:"key"`
+	Sub  float64 `json:"sub,omitempty"`
+}
+
+// QueueState is the serializable form of a Queue: the flow-indexed
+// backlog, the per-flow clamp chains of the backlogged flows (a drained
+// flow's chain is dead — the next push starts fresh — so only backlogged
+// chains are schedule state), and the clamp counter.
+type QueueState struct {
+	Queue   sched.FlowSetState `json:"queue"`
+	Last    []FlowRankState    `json:"last,omitempty"`
+	Clamped uint64             `json:"clamped,omitempty"`
+}
+
+// CaptureState serializes the queue in canonical form.
+func (q *Queue) CaptureState() QueueState {
+	st := QueueState{Queue: q.fs.CaptureState(), Clamped: q.clamped}
+	st.Last = make([]FlowRankState, 0, len(st.Queue.Flows))
+	for _, f := range st.Queue.Flows {
+		r := q.last[f.Flow]
+		st.Last = append(st.Last, FlowRankState{Flow: f.Flow, Key: r.key, Sub: r.sub})
+	}
+	return st
+}
+
+// RestoreState loads st into an empty Queue. The clamp chains must cover
+// exactly the backlogged flows, and — except for a single-packet flow
+// whose head rank may have been rewritten through SetFlowRank — a flow's
+// chain entry must equal its FIFO tail rank (the rank of its most recent
+// push, which per-flow monotonicity pins to the tail).
+func (q *Queue) RestoreState(st QueueState) error {
+	if q.Len() != 0 {
+		return fmt.Errorf("%w: restore into non-empty PIFO", sched.ErrBadState)
+	}
+	if err := q.fs.RestoreState(st.Queue); err != nil {
+		return err
+	}
+	if len(st.Last) != len(st.Queue.Flows) {
+		return fmt.Errorf("%w: %d clamp chains for %d backlogged flows", sched.ErrBadState, len(st.Last), len(st.Queue.Flows))
+	}
+	if len(st.Last) > 0 && q.last == nil {
+		q.last = make(map[int]rank)
+	}
+	for i, lr := range st.Last {
+		f := st.Queue.Flows[i]
+		if lr.Flow != f.Flow {
+			return fmt.Errorf("%w: clamp chain %d is for flow %d, backlog has %d", sched.ErrBadState, i, lr.Flow, f.Flow)
+		}
+		if tail := f.Items[len(f.Items)-1]; len(f.Items) > 1 && (lr.Key != tail.Key || lr.Sub != tail.Sub) {
+			return fmt.Errorf("%w: flow %d clamp chain (%v, %v) != tail rank (%v, %v)", sched.ErrBadState, lr.Flow, lr.Key, lr.Sub, tail.Key, tail.Sub)
+		}
+		q.last[lr.Flow] = rank{key: lr.Key, sub: lr.Sub}
+	}
+	q.clamped = st.Clamped
+	return nil
+}
+
+// VisitQueued visits queued packets: flows ascending, FIFO within a flow.
+func (q *Queue) VisitQueued(fn func(*sched.Packet)) { q.fs.VisitQueued(fn) }
+
+// ---------------------------------------------------------------- Sched --
+
+// SetWeight changes flow's weight for packets arriving after the call,
+// re-deriving the discipline's per-flow defaults (OnAddFlow — LSTF's
+// default slack tracks 1/weight) exactly as a re-registering AddFlow
+// would, and adjusting the fluid GPS share sum when one is attached.
+func (s *Sched) SetWeight(flow int, weight float64) error {
+	if _, ok := s.flows[flow]; !ok {
+		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, flow)
+	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, flow)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("%w: flow %d weight %v", sched.ErrBadWeight, flow, weight)
+	}
+	if s.st.GPS != nil {
+		s.st.GPS.Reweigh(flow, weight)
+	}
+	return s.AddFlow(flow, weight)
+}
+
+// SetCapacity changes the fluid GPS capacity for GPS-backed disciplines
+// (WFQ); the self-clocked rank functions have no capacity assumption.
+func (s *Sched) SetCapacity(c float64) error {
+	if s.st.GPS == nil {
+		return sched.ErrNoCapacityKnob
+	}
+	return s.st.GPS.SetCapacity(c)
+}
+
+// DrainFlow removes flow gracefully: the removal completes when the flow
+// is idle in the PIFO and, for GPS-backed disciplines, in the fluid
+// system too (see sched.Reconfigurable).
+func (s *Sched) DrainFlow(flow int) error {
+	if _, ok := s.flows[flow]; !ok {
+		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, flow)
+	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, flow)
+	}
+	if s.q.FlowLen(flow) == 0 && (s.st.GPS == nil || !s.st.GPS.Busy(flow)) {
+		return s.RemoveFlow(flow)
+	}
+	s.draining.Mark(flow)
+	return nil
+}
+
+// finalizeDrains unregisters draining flows that have gone idle.
+func (s *Sched) finalizeDrains() {
+	for _, f := range s.draining.Flows() {
+		if s.q.FlowLen(f) == 0 && (s.st.GPS == nil || !s.st.GPS.Busy(f)) {
+			s.draining.Clear(f)
+			s.RemoveFlow(f)
+		}
+	}
+}
+
+// ListFlows returns the registered flows sorted by id.
+func (s *Sched) ListFlows() []sched.FlowInfo {
+	out := make([]sched.FlowInfo, 0, len(s.flows))
+	for id, f := range s.flows {
+		out = append(out, sched.FlowInfo{Flow: id, Weight: f.Weight})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
+	return out
+}
+
+// pifoFlowState is one flow's registration plus its discipline tag chains.
+type pifoFlowState struct {
+	ID         int     `json:"id"`
+	Weight     float64 `json:"weight"`
+	LastFinish float64 `json:"lastFinish,omitempty"`
+	EAT        float64 `json:"eat,omitempty"`
+	Deadline   float64 `json:"deadline,omitempty"`
+	Cum        float64 `json:"cum,omitempty"`
+}
+
+type pifoState struct {
+	Last      float64         `json:"last"`
+	V         float64         `json:"v"`
+	MaxFinish float64         `json:"maxFinish"`
+	Busy      bool            `json:"busy"`
+	Flows     []pifoFlowState `json:"flows"`
+	GPS       *sched.GPSState `json:"gps,omitempty"`
+	Queue     QueueState      `json:"queue"`
+	Draining  []int           `json:"draining,omitempty"`
+}
+
+// StateKind identifies the adapter's state by discipline — ranks from one
+// rank function mean nothing to another.
+func (s *Sched) StateKind() string { return "pifo/" + s.d.Name }
+
+// MarshalState serializes the adapter state: flow registrations with
+// their tag chains, the PIFO backlog, the discipline virtual time, and
+// the fluid GPS reference when one is attached.
+func (s *Sched) MarshalState() ([]byte, error) {
+	st := pifoState{
+		Last: s.last, V: s.st.V, MaxFinish: s.st.maxFinish, Busy: s.st.busy,
+		Queue:    s.q.CaptureState(),
+		Draining: s.draining.Flows(),
+	}
+	st.Flows = make([]pifoFlowState, 0, len(s.flows))
+	for id, f := range s.flows {
+		st.Flows = append(st.Flows, pifoFlowState{
+			ID: id, Weight: f.Weight,
+			LastFinish: f.LastFinish, EAT: f.EAT, Deadline: f.Deadline, Cum: f.Cum,
+		})
+	}
+	sort.Slice(st.Flows, func(i, j int) bool { return st.Flows[i].ID < st.Flows[j].ID })
+	if s.st.GPS != nil {
+		gps := s.st.GPS.CaptureState()
+		st.GPS = &gps
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState loads state into a freshly constructed adapter running the
+// same discipline. Tag chains are restored verbatim — OnAddFlow is NOT
+// re-fired, the serialized defaults already reflect it.
+func (s *Sched) RestoreState(data []byte) error {
+	if len(s.flows) != 0 || s.q.Len() != 0 {
+		return fmt.Errorf("%w: restore into non-empty scheduler", sched.ErrBadState)
+	}
+	var st pifoState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", sched.ErrBadState, err)
+	}
+	if (st.GPS != nil) != (s.st.GPS != nil) {
+		return fmt.Errorf("%w: GPS state presence does not match discipline", sched.ErrBadState)
+	}
+	for i, f := range st.Flows {
+		if i > 0 && f.ID <= st.Flows[i-1].ID {
+			return fmt.Errorf("%w: flow ids not ascending at %d", sched.ErrBadState, f.ID)
+		}
+		if f.Weight <= 0 {
+			return fmt.Errorf("%w: flow %d weight %v", sched.ErrBadState, f.ID, f.Weight)
+		}
+		s.flows[f.ID] = &Flow{
+			ID: f.ID, Weight: f.Weight,
+			LastFinish: f.LastFinish, EAT: f.EAT, Deadline: f.Deadline, Cum: f.Cum,
+		}
+		s.weights[f.ID] = f.Weight
+	}
+	if st.GPS != nil {
+		if err := s.st.GPS.RestoreState(*st.GPS); err != nil {
+			return err
+		}
+	}
+	if err := s.q.RestoreState(st.Queue); err != nil {
+		return err
+	}
+	for _, f := range st.Queue.Queue.Flows {
+		if _, ok := s.flows[f.Flow]; !ok {
+			return fmt.Errorf("%w: queued packets for unregistered flow %d", sched.ErrBadState, f.Flow)
+		}
+	}
+	if err := sched.CheckDraining(st.Draining, s.weights); err != nil {
+		return err
+	}
+	s.draining.SetFlows(st.Draining)
+	s.last, s.st.V, s.st.maxFinish, s.st.busy = st.Last, st.V, st.MaxFinish, st.Busy
+	return nil
+}
+
+// VisitQueued visits queued packets: flows ascending, FIFO within a flow.
+func (s *Sched) VisitQueued(fn func(*sched.Packet)) { s.q.VisitQueued(fn) }

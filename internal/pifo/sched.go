@@ -84,12 +84,13 @@ type Discipline struct {
 // sched.Interface with the same O(log B) Enqueue/Dequeue and zero
 // steady-state allocations as the hand-written schedulers it re-expresses.
 type Sched struct {
-	d       Discipline
-	q       Queue
-	st      State
-	flows   map[int]*Flow
-	weights map[int]float64 // shared with the GPS reference when present
-	last    float64
+	d        Discipline
+	q        Queue
+	st       State
+	flows    map[int]*Flow
+	weights  map[int]float64 // shared with the GPS reference when present
+	last     float64
+	draining sched.DrainSet
 }
 
 // New builds a scheduler for d. cfg supplies the discipline-independent
@@ -148,6 +149,9 @@ func (s *Sched) AddFlow(flow int, weight float64) error {
 	if weight <= 0 {
 		return fmt.Errorf("%w: flow %d weight %v", sched.ErrBadWeight, flow, weight)
 	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, flow)
+	}
 	f := s.flows[flow]
 	if f == nil {
 		f = &Flow{ID: flow}
@@ -165,7 +169,7 @@ func (s *Sched) AddFlow(flow int, weight float64) error {
 // GPS-backed disciplines, in the fluid system too (mirroring WFQ).
 func (s *Sched) RemoveFlow(flow int) error {
 	if s.st.GPS != nil && s.st.GPS.Busy(flow) {
-		return sched.ErrFlowBusy
+		return fmt.Errorf("%w: %d", sched.ErrFlowBusy, flow)
 	}
 	if _, ok := s.flows[flow]; !ok {
 		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, flow)
@@ -194,6 +198,9 @@ func (s *Sched) Enqueue(now float64, p *sched.Packet) error {
 	}
 	if p.Length <= 0 {
 		return fmt.Errorf("%w: flow %d length %v", sched.ErrBadPacket, p.Flow, p.Length)
+	}
+	if !s.draining.Empty() && s.draining.Draining(p.Flow) {
+		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, p.Flow)
 	}
 	r := sched.EffRate(p, f.Weight)
 	if s.d.Advance != nil {
@@ -225,6 +232,9 @@ func (s *Sched) Dequeue(now float64) (*sched.Packet, bool) {
 		if s.d.OnIdle != nil {
 			s.d.OnIdle(&s.st)
 		}
+		if !s.draining.Empty() {
+			s.finalizeDrains()
+		}
 		return nil, false
 	}
 	p := s.q.Pop()
@@ -233,6 +243,9 @@ func (s *Sched) Dequeue(now float64) (*sched.Packet, bool) {
 	}
 	if s.d.AfterDequeue != nil {
 		s.d.AfterDequeue(&s.st, &s.q, s.flows[p.Flow], p)
+	}
+	if !s.draining.Empty() {
+		s.finalizeDrains()
 	}
 	return p, true
 }

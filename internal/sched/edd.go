@@ -1,6 +1,9 @@
 package sched
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // EDD implements Delay EDD as defined in Section 3 (eq 66): packet p_f^j is
 // assigned deadline D = EAT(p_f^j, r_f) + d_f and packets are transmitted in
@@ -16,6 +19,7 @@ type EDD struct {
 	eatNext  map[int]float64 // EAT(prev) + l_prev/r_prev
 	fq       FlowSet
 	last     float64
+	draining DrainSet
 }
 
 // NewEDD returns an empty Delay EDD scheduler.
@@ -49,6 +53,9 @@ func (s *EDD) AddFlowDeadline(flow int, rate, d float64) error {
 	if d < 0 {
 		return ErrBadWeight
 	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
 	if err := s.flows.Add(flow, rate); err != nil {
 		return err
 	}
@@ -77,6 +84,9 @@ func (s *EDD) Enqueue(now float64, p *Packet) error {
 	if err != nil {
 		return err
 	}
+	if !s.draining.Empty() && s.draining.Draining(p.Flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, p.Flow)
+	}
 	r := EffRate(p, w)
 	eat := now
 	if prev, ok := s.eatNext[p.Flow]; ok {
@@ -95,10 +105,16 @@ func (s *EDD) Dequeue(now float64) (*Packet, bool) {
 		s.last = now
 	}
 	if s.fq.Len() == 0 {
+		if !s.draining.Empty() {
+			s.finalizeDrains()
+		}
 		return nil, false
 	}
 	p := s.fq.PopMin()
 	s.flows.OnDequeue(p)
+	if !s.draining.Empty() {
+		s.finalizeDrains()
+	}
 	return p, true
 }
 

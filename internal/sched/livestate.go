@@ -1,0 +1,1173 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements Reconfigurable (live mutation) and Snapshotter
+// (deterministic serialization) for this package's disciplines. The SFQ
+// family lives in internal/core and the rank-function layer in
+// internal/pifo; both build on the state types in snapshot.go exactly as
+// the code below does.
+
+// FlowTagState is one entry of a per-flow float map (last finish tags,
+// expected arrival times, deadlines) in canonical sorted form.
+type FlowTagState struct {
+	Flow int     `json:"flow"`
+	Tag  float64 `json:"tag"`
+}
+
+// CaptureFlowTags serializes a per-flow float map sorted by flow id.
+func CaptureFlowTags(m map[int]float64) []FlowTagState {
+	out := make([]FlowTagState, 0, len(m))
+	for f, t := range m {
+		out = append(out, FlowTagState{Flow: f, Tag: t})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
+	return out
+}
+
+// RestoreFlowTags loads tags into m, requiring ascending flow ids and
+// every flow to be registered in the given weights map.
+func RestoreFlowTags(m map[int]float64, tags []FlowTagState, weights map[int]float64, what string) error {
+	for i, t := range tags {
+		if i > 0 && t.Flow <= tags[i-1].Flow {
+			return fmt.Errorf("%w: %s flow ids not ascending at %d", ErrBadState, what, t.Flow)
+		}
+		if _, ok := weights[t.Flow]; !ok {
+			return fmt.Errorf("%w: %s references unregistered flow %d", ErrBadState, what, t.Flow)
+		}
+		m[t.Flow] = t.Tag
+	}
+	return nil
+}
+
+// checkQueueAccounting verifies the FlowTable counters agree with the
+// queued backlog — count exactly, bytes within accumulator tolerance.
+func checkQueueAccounting(t *FlowTable, fs *FlowSet) error {
+	sum := 0
+	for f, n := range t.count {
+		if fs.FlowLen(f) != n {
+			return fmt.Errorf("%w: flow %d accounting count %d != %d queued", ErrBadState, f, n, fs.FlowLen(f))
+		}
+		if !closeTo(t.bytes[f], fs.FlowBytes(f)) {
+			return fmt.Errorf("%w: flow %d accounting bytes %v != %v queued", ErrBadState, f, t.bytes[f], fs.FlowBytes(f))
+		}
+		sum += n
+	}
+	if sum != fs.Len() {
+		return fmt.Errorf("%w: accounting total %d != %d queued", ErrBadState, sum, fs.Len())
+	}
+	return nil
+}
+
+// checkDraining verifies every draining flow is registered.
+func checkDraining(draining []int, weights map[int]float64) error {
+	for i, f := range draining {
+		if i > 0 && f <= draining[i-1] {
+			return fmt.Errorf("%w: draining flows not ascending at %d", ErrBadState, f)
+		}
+		if _, ok := weights[f]; !ok {
+			return fmt.Errorf("%w: draining flow %d not registered", ErrBadState, f)
+		}
+	}
+	return nil
+}
+
+// CheckQueue verifies the registry's counters agree with the backlog in
+// fs — exported for the restore validators in core and pifo.
+func (t *FlowTable) CheckQueue(fs *FlowSet) error { return checkQueueAccounting(t, fs) }
+
+// CheckDraining verifies a restored draining list is ascending and every
+// flow on it is registered — exported for core and pifo.
+func CheckDraining(draining []int, weights map[int]float64) error {
+	return checkDraining(draining, weights)
+}
+
+// ---------------------------------------------------------------- SCFQ --
+
+// SetWeight changes flow's weight for packets arriving after the call.
+func (s *SCFQ) SetWeight(flow int, weight float64) error {
+	if _, ok := s.flows.Weights[flow]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	return s.flows.Add(flow, weight)
+}
+
+// SetCapacity reports that SCFQ is self-clocked: no capacity assumption.
+func (s *SCFQ) SetCapacity(float64) error { return ErrNoCapacityKnob }
+
+// DrainFlow removes flow gracefully (see Reconfigurable).
+func (s *SCFQ) DrainFlow(flow int) error {
+	if _, ok := s.flows.Weights[flow]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	if s.flows.QueuedCount(flow) == 0 {
+		return s.RemoveFlow(flow)
+	}
+	s.draining.Mark(flow)
+	return nil
+}
+
+// finalizeDrains unregisters draining flows whose backlog has emptied.
+func (s *SCFQ) finalizeDrains() {
+	for _, f := range s.draining.Flows() {
+		if s.flows.QueuedCount(f) == 0 {
+			s.draining.Clear(f)
+			s.RemoveFlow(f)
+		}
+	}
+}
+
+// ListFlows returns the registered flows sorted by id.
+func (s *SCFQ) ListFlows() []FlowInfo { return s.flows.ListFlows() }
+
+type scfqState struct {
+	V          float64          `json:"v"`
+	MaxFinish  float64          `json:"maxFinish"`
+	Busy       bool             `json:"busy"`
+	Last       float64          `json:"last"`
+	Flows      []FlowAccounting `json:"flows"`
+	LastFinish []FlowTagState   `json:"lastFinish"`
+	Queue      FlowSetState     `json:"queue"`
+	Draining   []int            `json:"draining,omitempty"`
+}
+
+// StateKind identifies SCFQ snapshot state.
+func (s *SCFQ) StateKind() string { return "sched/scfq" }
+
+// MarshalState serializes the full SCFQ scheduling state.
+func (s *SCFQ) MarshalState() ([]byte, error) {
+	return json.Marshal(scfqState{
+		V: s.v, MaxFinish: s.maxFinish, Busy: s.busy, Last: s.last,
+		Flows:      s.flows.CaptureAccounting(),
+		LastFinish: CaptureFlowTags(s.lastFinish),
+		Queue:      s.fq.CaptureState(),
+		Draining:   s.draining.Flows(),
+	})
+}
+
+// RestoreState loads state into a freshly constructed SCFQ.
+func (s *SCFQ) RestoreState(data []byte) error {
+	if len(s.flows.Weights) != 0 || s.fq.Len() != 0 {
+		return fmt.Errorf("%w: restore into non-empty scheduler", ErrBadState)
+	}
+	var st scfqState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	if err := s.flows.RestoreAccounting(st.Flows); err != nil {
+		return err
+	}
+	if err := RestoreFlowTags(s.lastFinish, st.LastFinish, s.flows.Weights, "lastFinish"); err != nil {
+		return err
+	}
+	if err := s.fq.RestoreState(st.Queue); err != nil {
+		return err
+	}
+	if err := checkQueueAccounting(&s.flows, &s.fq); err != nil {
+		return err
+	}
+	if err := checkDraining(st.Draining, s.flows.Weights); err != nil {
+		return err
+	}
+	s.draining.SetFlows(st.Draining)
+	s.v, s.maxFinish, s.busy, s.last = st.V, st.MaxFinish, st.Busy, st.Last
+	return nil
+}
+
+// VisitQueued visits queued packets: flows ascending, FIFO within a flow.
+func (s *SCFQ) VisitQueued(fn func(*Packet)) { s.fq.VisitQueued(fn) }
+
+// ----------------------------------------------------------- WFQ / FQS --
+
+// SetWeight changes flow's weight for packets arriving after the call.
+// The fluid share sum is adjusted first so B(t)'s rate changes exactly at
+// the mutation point (the fluid system keeps its advance point).
+func (s *WFQ) SetWeight(flow int, weight float64) error {
+	if _, ok := s.flows.Weights[flow]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("%w: flow %d weight %v", ErrBadWeight, flow, weight)
+	}
+	s.g.reweigh(flow, weight)
+	return s.flows.Add(flow, weight)
+}
+
+// SetCapacity changes the assumed capacity C of the fluid GPS reference,
+// effective from the last advance point — the knob Example 2 shows can
+// break WFQ's fairness when it diverges from the real rate.
+func (s *WFQ) SetCapacity(c float64) error {
+	if c <= 0 {
+		return fmt.Errorf("%w: capacity %v", ErrBadConfig, c)
+	}
+	s.g.c = c
+	return nil
+}
+
+// DrainFlow removes flow gracefully; the removal completes when the flow
+// is idle in both the packet and the fluid system.
+func (s *WFQ) DrainFlow(flow int) error {
+	if _, ok := s.flows.Weights[flow]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	if s.flows.QueuedCount(flow) == 0 && s.g.count[flow] == 0 {
+		return s.RemoveFlow(flow)
+	}
+	s.draining.Mark(flow)
+	return nil
+}
+
+// finalizeDrains unregisters draining flows idle in both systems.
+func (s *WFQ) finalizeDrains() {
+	for _, f := range s.draining.Flows() {
+		if s.flows.QueuedCount(f) == 0 && s.g.count[f] == 0 {
+			s.draining.Clear(f)
+			s.RemoveFlow(f)
+		}
+	}
+}
+
+// ListFlows returns the registered flows sorted by id.
+func (s *WFQ) ListFlows() []FlowInfo { return s.flows.ListFlows() }
+
+type wfqState struct {
+	ByStart    bool             `json:"byStart,omitempty"`
+	Last       float64          `json:"last"`
+	Flows      []FlowAccounting `json:"flows"`
+	LastFinish []FlowTagState   `json:"lastFinish"`
+	GPS        GPSState         `json:"gps"`
+	Queue      FlowSetState     `json:"queue"`
+	Draining   []int            `json:"draining,omitempty"`
+}
+
+// StateKind identifies WFQ or FQS snapshot state (they share machinery
+// but order by different tags, so their states are not interchangeable).
+func (s *WFQ) StateKind() string {
+	if s.byStart {
+		return "sched/fqs"
+	}
+	return "sched/wfq"
+}
+
+// MarshalState serializes the full WFQ/FQS scheduling state, including
+// the fluid GPS reference system.
+func (s *WFQ) MarshalState() ([]byte, error) {
+	return json.Marshal(wfqState{
+		ByStart: s.byStart, Last: s.last,
+		Flows:      s.flows.CaptureAccounting(),
+		LastFinish: CaptureFlowTags(s.lastFinish),
+		GPS:        s.g.captureState(),
+		Queue:      s.fq.CaptureState(),
+		Draining:   s.draining.Flows(),
+	})
+}
+
+// RestoreState loads state into a freshly constructed WFQ/FQS.
+func (s *WFQ) RestoreState(data []byte) error {
+	if len(s.flows.Weights) != 0 || s.fq.Len() != 0 || s.g.h.Len() != 0 {
+		return fmt.Errorf("%w: restore into non-empty scheduler", ErrBadState)
+	}
+	var st wfqState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	if st.ByStart != s.byStart {
+		return fmt.Errorf("%w: state tag order (byStart=%v) does not match scheduler", ErrBadState, st.ByStart)
+	}
+	if err := s.flows.RestoreAccounting(st.Flows); err != nil {
+		return err
+	}
+	if err := RestoreFlowTags(s.lastFinish, st.LastFinish, s.flows.Weights, "lastFinish"); err != nil {
+		return err
+	}
+	if err := s.g.restoreState(st.GPS); err != nil {
+		return err
+	}
+	if err := s.fq.RestoreState(st.Queue); err != nil {
+		return err
+	}
+	if err := checkQueueAccounting(&s.flows, &s.fq); err != nil {
+		return err
+	}
+	if err := checkDraining(st.Draining, s.flows.Weights); err != nil {
+		return err
+	}
+	s.draining.SetFlows(st.Draining)
+	s.last = st.Last
+	return nil
+}
+
+// VisitQueued visits queued packets: flows ascending, FIFO within a flow.
+func (s *WFQ) VisitQueued(fn func(*Packet)) { s.fq.VisitQueued(fn) }
+
+// --------------------------------------------------------- VirtualClock --
+
+// SetWeight changes flow's reserved rate for packets arriving after the
+// call. The EAT chain is preserved: Virtual Clock's punitive memory of
+// past idle-bandwidth use (Section 1.1) survives the reconfiguration.
+func (s *VirtualClock) SetWeight(flow int, weight float64) error {
+	if _, ok := s.flows.Weights[flow]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	return s.flows.Add(flow, weight)
+}
+
+// SetCapacity reports that Virtual Clock has no capacity assumption.
+func (s *VirtualClock) SetCapacity(float64) error { return ErrNoCapacityKnob }
+
+// DrainFlow removes flow gracefully (see Reconfigurable).
+func (s *VirtualClock) DrainFlow(flow int) error {
+	if _, ok := s.flows.Weights[flow]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	if s.flows.QueuedCount(flow) == 0 {
+		return s.RemoveFlow(flow)
+	}
+	s.draining.Mark(flow)
+	return nil
+}
+
+// finalizeDrains unregisters draining flows whose backlog has emptied.
+func (s *VirtualClock) finalizeDrains() {
+	for _, f := range s.draining.Flows() {
+		if s.flows.QueuedCount(f) == 0 {
+			s.draining.Clear(f)
+			s.RemoveFlow(f)
+		}
+	}
+}
+
+// ListFlows returns the registered flows sorted by id.
+func (s *VirtualClock) ListFlows() []FlowInfo { return s.flows.ListFlows() }
+
+type vclockState struct {
+	Last     float64          `json:"last"`
+	Flows    []FlowAccounting `json:"flows"`
+	EatNext  []FlowTagState   `json:"eatNext"`
+	Queue    FlowSetState     `json:"queue"`
+	Draining []int            `json:"draining,omitempty"`
+}
+
+// StateKind identifies Virtual Clock snapshot state.
+func (s *VirtualClock) StateKind() string { return "sched/vclock" }
+
+// MarshalState serializes the full Virtual Clock scheduling state.
+func (s *VirtualClock) MarshalState() ([]byte, error) {
+	return json.Marshal(vclockState{
+		Last:     s.last,
+		Flows:    s.flows.CaptureAccounting(),
+		EatNext:  CaptureFlowTags(s.eatNext),
+		Queue:    s.fq.CaptureState(),
+		Draining: s.draining.Flows(),
+	})
+}
+
+// RestoreState loads state into a freshly constructed Virtual Clock.
+func (s *VirtualClock) RestoreState(data []byte) error {
+	if len(s.flows.Weights) != 0 || s.fq.Len() != 0 {
+		return fmt.Errorf("%w: restore into non-empty scheduler", ErrBadState)
+	}
+	var st vclockState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	if err := s.flows.RestoreAccounting(st.Flows); err != nil {
+		return err
+	}
+	if err := RestoreFlowTags(s.eatNext, st.EatNext, s.flows.Weights, "eatNext"); err != nil {
+		return err
+	}
+	if err := s.fq.RestoreState(st.Queue); err != nil {
+		return err
+	}
+	if err := checkQueueAccounting(&s.flows, &s.fq); err != nil {
+		return err
+	}
+	if err := checkDraining(st.Draining, s.flows.Weights); err != nil {
+		return err
+	}
+	s.draining.SetFlows(st.Draining)
+	s.last = st.Last
+	return nil
+}
+
+// VisitQueued visits queued packets: flows ascending, FIFO within a flow.
+func (s *VirtualClock) VisitQueued(fn func(*Packet)) { s.fq.VisitQueued(fn) }
+
+// ------------------------------------------------------------------ EDD --
+
+// SetWeight changes flow's reserved rate, keeping its delay bound d_f.
+func (s *EDD) SetWeight(flow int, weight float64) error {
+	if _, ok := s.flows.Weights[flow]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	return s.flows.Add(flow, weight)
+}
+
+// SetCapacity reports that Delay EDD has no capacity assumption.
+func (s *EDD) SetCapacity(float64) error { return ErrNoCapacityKnob }
+
+// DrainFlow removes flow gracefully (see Reconfigurable).
+func (s *EDD) DrainFlow(flow int) error {
+	if _, ok := s.flows.Weights[flow]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	if s.flows.QueuedCount(flow) == 0 {
+		return s.RemoveFlow(flow)
+	}
+	s.draining.Mark(flow)
+	return nil
+}
+
+// finalizeDrains unregisters draining flows whose backlog has emptied.
+func (s *EDD) finalizeDrains() {
+	for _, f := range s.draining.Flows() {
+		if s.flows.QueuedCount(f) == 0 {
+			s.draining.Clear(f)
+			s.RemoveFlow(f)
+		}
+	}
+}
+
+// ListFlows returns the registered flows sorted by id.
+func (s *EDD) ListFlows() []FlowInfo { return s.flows.ListFlows() }
+
+type eddState struct {
+	Last     float64          `json:"last"`
+	Flows    []FlowAccounting `json:"flows"`
+	Deadline []FlowTagState   `json:"deadline"`
+	EatNext  []FlowTagState   `json:"eatNext"`
+	Queue    FlowSetState     `json:"queue"`
+	Draining []int            `json:"draining,omitempty"`
+}
+
+// StateKind identifies Delay EDD snapshot state.
+func (s *EDD) StateKind() string { return "sched/edd" }
+
+// MarshalState serializes the full Delay EDD scheduling state.
+func (s *EDD) MarshalState() ([]byte, error) {
+	return json.Marshal(eddState{
+		Last:     s.last,
+		Flows:    s.flows.CaptureAccounting(),
+		Deadline: CaptureFlowTags(s.deadline),
+		EatNext:  CaptureFlowTags(s.eatNext),
+		Queue:    s.fq.CaptureState(),
+		Draining: s.draining.Flows(),
+	})
+}
+
+// RestoreState loads state into a freshly constructed Delay EDD.
+func (s *EDD) RestoreState(data []byte) error {
+	if len(s.flows.Weights) != 0 || s.fq.Len() != 0 {
+		return fmt.Errorf("%w: restore into non-empty scheduler", ErrBadState)
+	}
+	var st eddState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	if err := s.flows.RestoreAccounting(st.Flows); err != nil {
+		return err
+	}
+	if err := RestoreFlowTags(s.deadline, st.Deadline, s.flows.Weights, "deadline"); err != nil {
+		return err
+	}
+	for _, d := range st.Deadline {
+		if d.Tag < 0 {
+			return fmt.Errorf("%w: flow %d negative delay bound", ErrBadState, d.Flow)
+		}
+	}
+	if err := RestoreFlowTags(s.eatNext, st.EatNext, s.flows.Weights, "eatNext"); err != nil {
+		return err
+	}
+	if err := s.fq.RestoreState(st.Queue); err != nil {
+		return err
+	}
+	if err := checkQueueAccounting(&s.flows, &s.fq); err != nil {
+		return err
+	}
+	if err := checkDraining(st.Draining, s.flows.Weights); err != nil {
+		return err
+	}
+	s.draining.SetFlows(st.Draining)
+	s.last = st.Last
+	return nil
+}
+
+// VisitQueued visits queued packets: flows ascending, FIFO within a flow.
+func (s *EDD) VisitQueued(fn func(*Packet)) { s.fq.VisitQueued(fn) }
+
+// ----------------------------------------------------------------- FIFO --
+
+type fifoState struct {
+	Last  float64          `json:"last"`
+	Flows []FlowAccounting `json:"flows"`
+	Queue []PacketState    `json:"queue"`
+}
+
+// StateKind identifies FIFO snapshot state.
+func (s *FIFO) StateKind() string { return "sched/fifo" }
+
+// MarshalState serializes the full FIFO scheduling state.
+func (s *FIFO) MarshalState() ([]byte, error) {
+	st := fifoState{Last: s.last, Flows: s.flows.CaptureAccounting()}
+	st.Queue = make([]PacketState, 0, s.Len())
+	for _, p := range s.q[s.head:] {
+		st.Queue = append(st.Queue, CapturePacket(p))
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState loads state into a freshly constructed FIFO.
+func (s *FIFO) RestoreState(data []byte) error {
+	if len(s.flows.Weights) != 0 || s.Len() != 0 {
+		return fmt.Errorf("%w: restore into non-empty scheduler", ErrBadState)
+	}
+	var st fifoState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	if err := s.flows.RestoreAccounting(st.Flows); err != nil {
+		return err
+	}
+	counts := make(map[int]int)
+	bytes := make(map[int]float64)
+	for i, ps := range st.Queue {
+		if ps.Length <= 0 {
+			return fmt.Errorf("%w: queue item %d length %v", ErrBadState, i, ps.Length)
+		}
+		if _, ok := s.flows.Weights[ps.Flow]; !ok {
+			return fmt.Errorf("%w: queued packet for unregistered flow %d", ErrBadState, ps.Flow)
+		}
+		counts[ps.Flow]++
+		bytes[ps.Flow] += ps.Length
+	}
+	for f, n := range s.flows.count {
+		if counts[f] != n || !closeTo(bytes[f], s.flows.bytes[f]) {
+			return fmt.Errorf("%w: flow %d accounting disagrees with queue", ErrBadState, f)
+		}
+	}
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != len(st.Queue) || sum != s.queuedCountTotal() {
+		return fmt.Errorf("%w: queue total disagrees with accounting", ErrBadState)
+	}
+	for _, ps := range st.Queue {
+		s.q = append(s.q, ps.Packet())
+	}
+	s.last = st.Last
+	return nil
+}
+
+// queuedCountTotal sums the registry's per-flow packet counts.
+func (s *FIFO) queuedCountTotal() int {
+	n := 0
+	for _, c := range s.flows.count {
+		n += c
+	}
+	return n
+}
+
+// VisitQueued visits queued packets in service (arrival) order — FIFO's
+// canonical order is its single queue, not per-flow grouping.
+func (s *FIFO) VisitQueued(fn func(*Packet)) {
+	for _, p := range s.q[s.head:] {
+		fn(p)
+	}
+}
+
+// ------------------------------------------------------------------ DRR --
+
+type drrFlowState struct {
+	Flow    int           `json:"flow"`
+	Deficit float64       `json:"deficit"`
+	Fresh   bool          `json:"fresh,omitempty"`
+	Pkts    []PacketState `json:"pkts"`
+}
+
+type drrState struct {
+	Last    float64          `json:"last"`
+	Quantum float64          `json:"quantum"`
+	Flows   []FlowAccounting `json:"flows"`
+	// Active is the round-robin list in service order — schedule state,
+	// so it is serialized as a sequence, not re-sorted.
+	Active []drrFlowState `json:"active"`
+}
+
+// StateKind identifies DRR snapshot state.
+func (s *DRR) StateKind() string { return "sched/drr" }
+
+// MarshalState serializes the full DRR scheduling state. The round-robin
+// list order IS the schedule, so Active keeps service order.
+func (s *DRR) MarshalState() ([]byte, error) {
+	st := drrState{Last: s.last, Quantum: s.quantum, Flows: s.flows.CaptureAccounting()}
+	st.Active = make([]drrFlowState, 0, len(s.active))
+	for _, id := range s.active {
+		f := s.state[id]
+		fs := drrFlowState{Flow: id, Deficit: f.deficit, Fresh: f.fresh}
+		fs.Pkts = make([]PacketState, 0, len(f.q)-f.head)
+		for _, p := range f.q[f.head:] {
+			fs.Pkts = append(fs.Pkts, CapturePacket(p))
+		}
+		st.Active = append(st.Active, fs)
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState loads state into a freshly constructed DRR with the same
+// quantum.
+func (s *DRR) RestoreState(data []byte) error {
+	if len(s.flows.Weights) != 0 || s.total != 0 {
+		return fmt.Errorf("%w: restore into non-empty scheduler", ErrBadState)
+	}
+	var st drrState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	if st.Quantum != s.quantum {
+		return fmt.Errorf("%w: quantum %v does not match scheduler's %v", ErrBadState, st.Quantum, s.quantum)
+	}
+	if err := s.flows.RestoreAccounting(st.Flows); err != nil {
+		return err
+	}
+	for f := range s.flows.Weights {
+		s.state[f] = &drrFlow{}
+	}
+	seen := make(map[int]bool, len(st.Active))
+	total := 0
+	for _, fs := range st.Active {
+		f, ok := s.state[fs.Flow]
+		if !ok {
+			return fmt.Errorf("%w: active flow %d not registered", ErrBadState, fs.Flow)
+		}
+		if seen[fs.Flow] {
+			return fmt.Errorf("%w: flow %d twice in round-robin list", ErrBadState, fs.Flow)
+		}
+		seen[fs.Flow] = true
+		if len(fs.Pkts) == 0 {
+			return fmt.Errorf("%w: active flow %d with no packets", ErrBadState, fs.Flow)
+		}
+		if fs.Deficit < 0 {
+			return fmt.Errorf("%w: flow %d negative deficit", ErrBadState, fs.Flow)
+		}
+		bytes := 0.0
+		for i, ps := range fs.Pkts {
+			if ps.Length <= 0 || ps.Flow != fs.Flow {
+				return fmt.Errorf("%w: flow %d packet %d invalid", ErrBadState, fs.Flow, i)
+			}
+			f.q = append(f.q, ps.Packet())
+			bytes += ps.Length
+		}
+		if s.flows.count[fs.Flow] != len(fs.Pkts) || !closeTo(s.flows.bytes[fs.Flow], bytes) {
+			return fmt.Errorf("%w: flow %d accounting disagrees with queue", ErrBadState, fs.Flow)
+		}
+		f.deficit, f.fresh, f.inList = fs.Deficit, fs.Fresh, true
+		s.active = append(s.active, fs.Flow)
+		total += len(fs.Pkts)
+	}
+	if n := s.accountingTotal(); n != total {
+		return fmt.Errorf("%w: accounting total %d != %d queued", ErrBadState, n, total)
+	}
+	s.total = total
+	s.last = st.Last
+	return nil
+}
+
+// accountingTotal sums the registry's per-flow packet counts.
+func (s *DRR) accountingTotal() int {
+	n := 0
+	for _, c := range s.flows.count {
+		n += c
+	}
+	return n
+}
+
+// VisitQueued visits queued packets in round-robin list order (DRR's
+// canonical order), FIFO within a flow.
+func (s *DRR) VisitQueued(fn func(*Packet)) {
+	for _, id := range s.active {
+		f := s.state[id]
+		for _, p := range f.q[f.head:] {
+			fn(p)
+		}
+	}
+}
+
+// ListFlows returns the registered flows sorted by id.
+func (s *DRR) ListFlows() []FlowInfo { return s.flows.ListFlows() }
+
+// ------------------------------------------------------------- Priority --
+
+type priorityClassState struct {
+	Flow  int `json:"flow"`
+	Level int `json:"level"`
+}
+
+type priorityState struct {
+	Last   float64              `json:"last"`
+	Class  []priorityClassState `json:"class"`
+	Levels []json.RawMessage    `json:"levels"`
+}
+
+// StateKind identifies a priority composition by its children's kinds.
+func (s *Priority) StateKind() string {
+	kinds := make([]string, len(s.levels))
+	for i, lvl := range s.levels {
+		if snap, ok := lvl.(Snapshotter); ok {
+			kinds[i] = snap.StateKind()
+		} else {
+			kinds[i] = "?"
+		}
+	}
+	out := "sched/priority("
+	for i, k := range kinds {
+		if i > 0 {
+			out += ","
+		}
+		out += k
+	}
+	return out + ")"
+}
+
+// MarshalState serializes the composition: the flow→level map plus each
+// child's own state. Every child must itself be a Snapshotter.
+func (s *Priority) MarshalState() ([]byte, error) {
+	st := priorityState{Last: s.last}
+	st.Class = make([]priorityClassState, 0, len(s.class))
+	for f, lvl := range s.class {
+		st.Class = append(st.Class, priorityClassState{Flow: f, Level: lvl})
+	}
+	sort.Slice(st.Class, func(i, j int) bool { return st.Class[i].Flow < st.Class[j].Flow })
+	st.Levels = make([]json.RawMessage, len(s.levels))
+	for i, lvl := range s.levels {
+		snap, ok := lvl.(Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("sched: priority level %d (%T) does not support snapshots", i, lvl)
+		}
+		data, err := snap.MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		st.Levels[i] = data
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState loads state into a freshly constructed composition with
+// the same level structure.
+func (s *Priority) RestoreState(data []byte) error {
+	if len(s.class) != 0 || s.Len() != 0 {
+		return fmt.Errorf("%w: restore into non-empty scheduler", ErrBadState)
+	}
+	var st priorityState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	if len(st.Levels) != len(s.levels) {
+		return fmt.Errorf("%w: %d levels in state, scheduler has %d", ErrBadState, len(st.Levels), len(s.levels))
+	}
+	for i, lvl := range s.levels {
+		snap, ok := lvl.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("%w: priority level %d (%T) does not support snapshots", ErrBadState, i, lvl)
+		}
+		if err := snap.RestoreState(st.Levels[i]); err != nil {
+			return err
+		}
+	}
+	for i, c := range st.Class {
+		if i > 0 && c.Flow <= st.Class[i-1].Flow {
+			return fmt.Errorf("%w: class flow ids not ascending at %d", ErrBadState, c.Flow)
+		}
+		if c.Level < 0 || c.Level >= len(s.levels) {
+			return fmt.Errorf("%w: flow %d level %d out of range", ErrBadState, c.Flow, c.Level)
+		}
+		s.class[c.Flow] = c.Level
+	}
+	// Cross-check the flow→level map against each child's own registry
+	// when the child can enumerate it.
+	for i, lvl := range s.levels {
+		fl, ok := lvl.(FlowLister)
+		if !ok {
+			continue
+		}
+		for _, info := range fl.ListFlows() {
+			if got, ok := s.class[info.Flow]; !ok || got != i {
+				return fmt.Errorf("%w: level %d flow %d missing from class map", ErrBadState, i, info.Flow)
+			}
+		}
+	}
+	s.last = st.Last
+	return nil
+}
+
+// VisitQueued visits each level's queued packets in priority order.
+func (s *Priority) VisitQueued(fn func(*Packet)) {
+	for _, lvl := range s.levels {
+		if snap, ok := lvl.(Snapshotter); ok {
+			snap.VisitQueued(fn)
+		}
+	}
+}
+
+// ---------------------------------------------------------- FairAirport --
+
+type faEntryState struct {
+	Served   bool         `json:"served,omitempty"`
+	InGSQ    bool         `json:"inGSQ,omitempty"`
+	Eat      float64      `json:"eat,omitempty"`
+	AsqStart float64      `json:"asqStart,omitempty"`
+	AsqF     float64      `json:"asqF,omitempty"`
+	Pkt      *PacketState `json:"pkt,omitempty"`
+}
+
+type faFlowState struct {
+	Flow    int `json:"flow"`
+	HeadIdx int `json:"headIdx"`
+	RegIdx  int `json:"regIdx"`
+	Gen     int `json:"gen"`
+	// GsqBaseLo marks gsqBase == -Inf (the initial "no GSQ history"
+	// state), which JSON cannot encode as a number.
+	GsqBaseLo bool           `json:"gsqBaseLo,omitempty"`
+	GsqBase   float64        `json:"gsqBase,omitempty"`
+	AsqBase   float64        `json:"asqBase,omitempty"`
+	AsqKey    float64        `json:"asqKey,omitempty"`
+	AsqSerial uint64         `json:"asqSerial,omitempty"`
+	InASQ     bool           `json:"inASQ,omitempty"`
+	Entries   []faEntryState `json:"entries,omitempty"`
+}
+
+type faGSQItemState struct {
+	Key    float64 `json:"key"`
+	Serial uint64  `json:"serial"`
+	Flow   int     `json:"flow"`
+	Idx    int     `json:"idx"`
+}
+
+type faRegEventState struct {
+	Eat  float64 `json:"eat"`
+	Seq  uint64  `json:"seq"`
+	Flow int     `json:"flow"`
+	Idx  int     `json:"idx"`
+	Gen  int     `json:"gen"`
+}
+
+type faState struct {
+	Last         float64           `json:"last"`
+	AsqSeq       uint64            `json:"asqSeq"`
+	AsqV         float64           `json:"asqV"`
+	AsqMaxFinish float64           `json:"asqMaxFinish"`
+	Busy         bool              `json:"busy"`
+	Total        int               `json:"total"`
+	GSQSerial    uint64            `json:"gsqSerial"`
+	RegSeq       uint64            `json:"regSeq"`
+	Flows        []FlowAccounting  `json:"flows"`
+	State        []faFlowState     `json:"state"`
+	GSQ          []faGSQItemState  `json:"gsq"`
+	Reg          []faRegEventState `json:"reg"`
+}
+
+// StateKind identifies Fair Airport snapshot state.
+func (s *FairAirport) StateKind() string { return "sched/fairairport" }
+
+// MarshalState serializes the full Fair Airport state: per-flow entry
+// slices (served entries as normalized tombstones, so index-based
+// regulator events keep their meaning), the GSQ as (flow, index)
+// references into those slices, and the regulator event heap sorted by
+// its (eat, seq) strict total order.
+func (s *FairAirport) MarshalState() ([]byte, error) {
+	st := faState{
+		Last: s.last, AsqSeq: s.asqSeq, AsqV: s.asqV, AsqMaxFinish: s.asqMaxFinish,
+		Busy: s.busy, Total: s.total, GSQSerial: s.gsq.serial, RegSeq: s.reg.seq,
+		Flows: s.flows.CaptureAccounting(),
+	}
+	ids := make([]int, 0, len(s.state))
+	for f := range s.state {
+		ids = append(ids, f)
+	}
+	sort.Ints(ids)
+	// gsqRef locates each live packet so GSQ items can be serialized as
+	// references rather than duplicating packets.
+	type ref struct{ flow, idx int }
+	gsqRef := make(map[*Packet]ref)
+	st.State = make([]faFlowState, 0, len(ids))
+	for _, id := range ids {
+		f := s.state[id]
+		fs := faFlowState{
+			Flow: id, HeadIdx: f.headIdx, RegIdx: f.regIdx, Gen: f.gen,
+			AsqBase: f.asqBase, AsqKey: f.asqKey, AsqSerial: f.asqSerial,
+			InASQ: f.asqIdx >= 0,
+		}
+		if math.IsInf(f.gsqBase, -1) {
+			fs.GsqBaseLo = true
+		} else {
+			fs.GsqBase = f.gsqBase
+		}
+		if len(f.q) > 0 {
+			fs.Entries = make([]faEntryState, len(f.q))
+			for i := range f.q {
+				e := &f.q[i]
+				if e.served {
+					fs.Entries[i] = faEntryState{Served: true}
+					continue
+				}
+				ps := CapturePacket(e.p)
+				fs.Entries[i] = faEntryState{
+					InGSQ: e.inGSQ, Eat: e.eat,
+					AsqStart: e.asqStart, AsqF: e.asqF, Pkt: &ps,
+				}
+				gsqRef[e.p] = ref{flow: id, idx: i}
+			}
+		}
+		st.State = append(st.State, fs)
+	}
+	st.GSQ = make([]faGSQItemState, 0, len(s.gsq.items))
+	for _, it := range s.gsq.items {
+		r, ok := gsqRef[it.p]
+		if !ok {
+			return nil, fmt.Errorf("sched: fairairport GSQ holds a packet with no live entry")
+		}
+		st.GSQ = append(st.GSQ, faGSQItemState{Key: it.key, Serial: it.serial, Flow: r.flow, Idx: r.idx})
+	}
+	sort.Slice(st.GSQ, func(i, j int) bool {
+		a, b := st.GSQ[i], st.GSQ[j]
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Serial < b.Serial
+	})
+	st.Reg = make([]faRegEventState, 0, len(s.reg.es))
+	for _, e := range s.reg.es {
+		st.Reg = append(st.Reg, faRegEventState{Eat: e.eat, Seq: e.seq, Flow: e.flow, Idx: e.idx, Gen: e.gen})
+	}
+	sort.Slice(st.Reg, func(i, j int) bool {
+		a, b := st.Reg[i], st.Reg[j]
+		if a.Eat != b.Eat {
+			return a.Eat < b.Eat
+		}
+		return a.Seq < b.Seq
+	})
+	return json.Marshal(st)
+}
+
+// RestoreState loads state into a freshly constructed Fair Airport.
+func (s *FairAirport) RestoreState(data []byte) error {
+	if len(s.flows.Weights) != 0 || s.total != 0 || len(s.state) != 0 {
+		return fmt.Errorf("%w: restore into non-empty scheduler", ErrBadState)
+	}
+	var st faState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	if err := s.flows.RestoreAccounting(st.Flows); err != nil {
+		return err
+	}
+	total := 0
+	inGSQ := 0
+	var maxAsqSerial uint64
+	for i, fs := range st.State {
+		if i > 0 && fs.Flow <= st.State[i-1].Flow {
+			return fmt.Errorf("%w: fa flow ids not ascending at %d", ErrBadState, fs.Flow)
+		}
+		if _, ok := s.flows.Weights[fs.Flow]; !ok {
+			return fmt.Errorf("%w: fa state for unregistered flow %d", ErrBadState, fs.Flow)
+		}
+		n := len(fs.Entries)
+		if fs.HeadIdx < 0 || fs.HeadIdx > n || fs.RegIdx < 0 || fs.RegIdx > n {
+			return fmt.Errorf("%w: fa flow %d indices out of range", ErrBadState, fs.Flow)
+		}
+		if fs.InASQ != (fs.HeadIdx < n) {
+			return fmt.Errorf("%w: fa flow %d ASQ membership disagrees with backlog", ErrBadState, fs.Flow)
+		}
+		live := 0
+		bytes := 0.0
+		for j, e := range fs.Entries {
+			if j < fs.HeadIdx {
+				if !e.Served || e.Pkt != nil {
+					return fmt.Errorf("%w: fa flow %d entry %d below head not a served tombstone", ErrBadState, fs.Flow, j)
+				}
+				continue
+			}
+			if e.Served || e.Pkt == nil {
+				return fmt.Errorf("%w: fa flow %d entry %d above head served or packetless", ErrBadState, fs.Flow, j)
+			}
+			if e.Pkt.Length <= 0 || e.Pkt.Flow != fs.Flow {
+				return fmt.Errorf("%w: fa flow %d entry %d packet invalid", ErrBadState, fs.Flow, j)
+			}
+			if e.InGSQ {
+				inGSQ++
+			}
+			live++
+			bytes += e.Pkt.Length
+		}
+		if s.flows.count[fs.Flow] != live || !closeTo(s.flows.bytes[fs.Flow], bytes) {
+			return fmt.Errorf("%w: fa flow %d accounting disagrees with entries", ErrBadState, fs.Flow)
+		}
+		if fs.InASQ {
+			head := fs.Entries[fs.HeadIdx]
+			if head.AsqStart != fs.AsqKey {
+				return fmt.Errorf("%w: fa flow %d ASQ key %v != head start %v", ErrBadState, fs.Flow, fs.AsqKey, head.AsqStart)
+			}
+			if fs.AsqSerial > maxAsqSerial {
+				maxAsqSerial = fs.AsqSerial
+			}
+		}
+		total += live
+	}
+	if total != st.Total {
+		return fmt.Errorf("%w: fa total %d != %d live entries", ErrBadState, st.Total, total)
+	}
+	if len(st.State) != len(s.flows.Weights) {
+		return fmt.Errorf("%w: fa has %d flow states for %d registered flows", ErrBadState, len(st.State), len(s.flows.Weights))
+	}
+	if st.AsqSeq < maxAsqSerial {
+		return fmt.Errorf("%w: fa ASQ seq %d below max serial %d", ErrBadState, st.AsqSeq, maxAsqSerial)
+	}
+	if len(st.GSQ) != inGSQ {
+		return fmt.Errorf("%w: fa GSQ has %d items for %d promoted entries", ErrBadState, len(st.GSQ), inGSQ)
+	}
+
+	// All validated: materialize.
+	flowStates := make(map[int]*faFlow, len(st.State))
+	for _, fs := range st.State {
+		f := &faFlow{
+			headIdx: fs.HeadIdx, regIdx: fs.RegIdx, gen: fs.Gen,
+			asqBase: fs.AsqBase, asqKey: fs.AsqKey, asqSerial: fs.AsqSerial,
+			asqIdx:  -1,
+			gsqBase: fs.GsqBase,
+		}
+		if fs.GsqBaseLo {
+			f.gsqBase = math.Inf(-1)
+		}
+		if len(fs.Entries) > 0 {
+			f.q = make([]faEntry, len(fs.Entries))
+			for j, e := range fs.Entries {
+				if e.Served {
+					f.q[j] = faEntry{served: true}
+					continue
+				}
+				f.q[j] = faEntry{
+					p: e.Pkt.Packet(), eat: e.Eat, inGSQ: e.InGSQ,
+					asqStart: e.AsqStart, asqF: e.AsqF,
+				}
+			}
+		}
+		flowStates[fs.Flow] = f
+		s.state[fs.Flow] = f
+	}
+	// ASQ heap: push backlogged flows in (key, serial) order; the sorted
+	// push sequence yields a valid heap and pop order is total anyway.
+	asqFlows := make([]faFlowState, 0, len(st.State))
+	for _, fs := range st.State {
+		if fs.InASQ {
+			asqFlows = append(asqFlows, fs)
+		}
+	}
+	sort.Slice(asqFlows, func(i, j int) bool {
+		a, b := asqFlows[i], asqFlows[j]
+		if a.AsqKey != b.AsqKey {
+			return a.AsqKey < b.AsqKey
+		}
+		return a.AsqSerial < b.AsqSerial
+	})
+	for _, fs := range asqFlows {
+		s.asq.push(flowStates[fs.Flow])
+	}
+	// GSQ: items sorted by (key, serial) form a valid heap directly.
+	var maxGSQSerial uint64
+	s.gsq.items = make([]tagItem, len(st.GSQ))
+	for i, it := range st.GSQ {
+		if i > 0 {
+			prev := st.GSQ[i-1]
+			if it.Key < prev.Key || (it.Key == prev.Key && it.Serial <= prev.Serial) {
+				return fmt.Errorf("%w: fa GSQ not sorted at item %d", ErrBadState, i)
+			}
+		}
+		f := flowStates[it.Flow]
+		if f == nil || it.Idx < 0 || it.Idx >= len(f.q) || f.q[it.Idx].served || !f.q[it.Idx].inGSQ {
+			return fmt.Errorf("%w: fa GSQ item %d references no promoted entry", ErrBadState, i)
+		}
+		s.gsq.items[i] = tagItem{key: it.Key, serial: it.Serial, p: f.q[it.Idx].p}
+		if it.Serial > maxGSQSerial {
+			maxGSQSerial = it.Serial
+		}
+	}
+	if st.GSQSerial < maxGSQSerial {
+		return fmt.Errorf("%w: fa GSQ serial %d below max item serial %d", ErrBadState, st.GSQSerial, maxGSQSerial)
+	}
+	s.gsq.serial = st.GSQSerial
+	// Regulator: sorted events form a valid heap. Stale events (bumped
+	// generation, out-of-range index) are legal — promote() drops them —
+	// so only the heap order and the sequence counter are validated.
+	var maxRegSeq uint64
+	s.reg.es = make([]faRegEvent, len(st.Reg))
+	for i, e := range st.Reg {
+		if i > 0 {
+			prev := st.Reg[i-1]
+			if e.Eat < prev.Eat || (e.Eat == prev.Eat && e.Seq <= prev.Seq) {
+				return fmt.Errorf("%w: fa regulator not sorted at event %d", ErrBadState, i)
+			}
+		}
+		s.reg.es[i] = faRegEvent{eat: e.Eat, seq: e.Seq, flow: e.Flow, idx: e.Idx, gen: e.Gen}
+		if e.Seq > maxRegSeq {
+			maxRegSeq = e.Seq
+		}
+	}
+	if st.RegSeq < maxRegSeq {
+		return fmt.Errorf("%w: fa regulator seq %d below max event seq %d", ErrBadState, st.RegSeq, maxRegSeq)
+	}
+	s.reg.seq = st.RegSeq
+	s.last, s.asqSeq, s.asqV, s.asqMaxFinish = st.Last, st.AsqSeq, st.AsqV, st.AsqMaxFinish
+	s.busy, s.total = st.Busy, st.Total
+	return nil
+}
+
+// VisitQueued visits live (unserved) packets: flows ascending, entry
+// order within a flow. Promoted GSQ packets alias these entries, so each
+// packet is visited exactly once.
+func (s *FairAirport) VisitQueued(fn func(*Packet)) {
+	ids := make([]int, 0, len(s.state))
+	for f := range s.state {
+		ids = append(ids, f)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		f := s.state[id]
+		for i := f.headIdx; i < len(f.q); i++ {
+			fn(f.q[i].p)
+		}
+	}
+}
+
+// ListFlows returns the registered flows sorted by id.
+func (s *FairAirport) ListFlows() []FlowInfo { return s.flows.ListFlows() }

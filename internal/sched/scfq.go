@@ -1,6 +1,9 @@
 package sched
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // SCFQ is Self-Clocked Fair Queuing [4, 8]: packets are stamped with start
 // and finish tags like WFQ, but the system virtual time is approximated by
@@ -16,6 +19,7 @@ type SCFQ struct {
 	busy       bool
 	lastFinish map[int]float64
 	last       float64
+	draining   DrainSet
 }
 
 // NewSCFQ returns an empty SCFQ scheduler.
@@ -26,7 +30,12 @@ func NewSCFQ() *SCFQ {
 }
 
 // AddFlow registers flow with the given weight (bytes/second).
-func (s *SCFQ) AddFlow(flow int, weight float64) error { return s.flows.Add(flow, weight) }
+func (s *SCFQ) AddFlow(flow int, weight float64) error {
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	return s.flows.Add(flow, weight)
+}
 
 // RemoveFlow unregisters an idle flow.
 func (s *SCFQ) RemoveFlow(flow int) error {
@@ -52,6 +61,9 @@ func (s *SCFQ) Enqueue(now float64, p *Packet) error {
 	if err != nil {
 		return err
 	}
+	if !s.draining.Empty() && s.draining.Draining(p.Flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, p.Flow)
+	}
 	r := EffRate(p, w)
 	start := math.Max(s.v, s.lastFinish[p.Flow])
 	finish := start + p.Length/r
@@ -74,6 +86,9 @@ func (s *SCFQ) Dequeue(now float64) (*Packet, bool) {
 			s.busy = false
 			s.v = s.maxFinish
 		}
+		if !s.draining.Empty() {
+			s.finalizeDrains()
+		}
 		return nil, false
 	}
 	p := s.fq.PopMin()
@@ -83,6 +98,9 @@ func (s *SCFQ) Dequeue(now float64) (*Packet, bool) {
 		s.maxFinish = p.VirtualFinish
 	}
 	s.flows.OnDequeue(p)
+	if !s.draining.Empty() {
+		s.finalizeDrains()
+	}
 	return p, true
 }
 

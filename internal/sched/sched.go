@@ -56,8 +56,12 @@ type Interface interface {
 	// Registering an existing flow updates its weight.
 	AddFlow(flow int, weight float64) error
 
-	// RemoveFlow unregisters an idle flow. Removing a backlogged flow is
-	// an error.
+	// RemoveFlow unregisters an idle flow. Removing a flow that still
+	// holds queued packets fails with an error wrapping ErrFlowBusy
+	// (uniformly, across every registered discipline — the conformance
+	// suite pins this); removing an unregistered flow fails with an error
+	// wrapping ErrUnknownFlow. Schedulers that implement Reconfigurable
+	// offer DrainFlow for graceful removal of a backlogged flow.
 	RemoveFlow(flow int) error
 
 	// Enqueue adds p to the scheduler at time now. The packet's flow must

@@ -1,6 +1,9 @@
 package sched
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // VirtualClock implements Zhang's Virtual Clock discipline [22]: each
 // packet is stamped EAT(p_f^j, r_f) + l_f^j / r_f, where the expected
@@ -15,8 +18,9 @@ type VirtualClock struct {
 	fq    FlowSet
 	// eatNext[f] = EAT(p_f^{j-1}) + l^{j-1}/r^{j-1}: the earliest expected
 	// arrival of the flow's next packet.
-	eatNext map[int]float64
-	last    float64
+	eatNext  map[int]float64
+	last     float64
+	draining DrainSet
 }
 
 // NewVirtualClock returns an empty Virtual Clock scheduler.
@@ -27,7 +31,12 @@ func NewVirtualClock() *VirtualClock {
 }
 
 // AddFlow registers flow with the given reserved rate (bytes/second).
-func (s *VirtualClock) AddFlow(flow int, weight float64) error { return s.flows.Add(flow, weight) }
+func (s *VirtualClock) AddFlow(flow int, weight float64) error {
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	return s.flows.Add(flow, weight)
+}
 
 // RemoveFlow unregisters an idle flow.
 func (s *VirtualClock) RemoveFlow(flow int) error {
@@ -49,6 +58,9 @@ func (s *VirtualClock) Enqueue(now float64, p *Packet) error {
 	if err != nil {
 		return err
 	}
+	if !s.draining.Empty() && s.draining.Draining(p.Flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, p.Flow)
+	}
 	r := EffRate(p, w)
 	eat := now
 	if prev, ok := s.eatNext[p.Flow]; ok {
@@ -69,10 +81,16 @@ func (s *VirtualClock) Dequeue(now float64) (*Packet, bool) {
 		s.last = now
 	}
 	if s.fq.Len() == 0 {
+		if !s.draining.Empty() {
+			s.finalizeDrains()
+		}
 		return nil, false
 	}
 	p := s.fq.PopMin()
 	s.flows.OnDequeue(p)
+	if !s.draining.Empty() {
+		s.finalizeDrains()
+	}
 	return p, true
 }
 

@@ -1,6 +1,9 @@
 package sched
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // gps simulates the fluid bit-by-bit weighted round robin reference system
 // that defines WFQ's virtual time v(t) (eq 3): dv/dt = C / Σ_{j∈B(t)} r_j,
@@ -150,6 +153,7 @@ type WFQ struct {
 	lastFinish map[int]float64
 	last       float64
 	byStart    bool // FQS when true
+	draining   DrainSet
 }
 
 // NewWFQ returns a WFQ scheduler emulating GPS at assumedCap bytes/s.
@@ -176,13 +180,18 @@ func NewFQS(assumedCap float64) *WFQ {
 }
 
 // AddFlow registers flow with the given weight (bytes/second).
-func (s *WFQ) AddFlow(flow int, weight float64) error { return s.flows.Add(flow, weight) }
+func (s *WFQ) AddFlow(flow int, weight float64) error {
+	if s.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, flow)
+	}
+	return s.flows.Add(flow, weight)
+}
 
 // RemoveFlow unregisters an idle flow (idle in both the packet system and
 // the fluid reference system).
 func (s *WFQ) RemoveFlow(flow int) error {
 	if s.g.count[flow] > 0 {
-		return ErrFlowBusy
+		return fmt.Errorf("%w: %d", ErrFlowBusy, flow)
 	}
 	if err := s.flows.Remove(flow); err != nil {
 		return err
@@ -205,6 +214,9 @@ func (s *WFQ) Enqueue(now float64, p *Packet) error {
 	w, err := s.flows.CheckPacket(p)
 	if err != nil {
 		return err
+	}
+	if !s.draining.Empty() && s.draining.Draining(p.Flow) {
+		return fmt.Errorf("%w: %d", ErrFlowDraining, p.Flow)
 	}
 	s.g.advance(now)
 	r := EffRate(p, w)
@@ -230,10 +242,16 @@ func (s *WFQ) Dequeue(now float64) (*Packet, bool) {
 	}
 	s.g.advance(now)
 	if s.fq.Len() == 0 {
+		if !s.draining.Empty() {
+			s.finalizeDrains()
+		}
 		return nil, false
 	}
 	p := s.fq.PopMin()
 	s.flows.OnDequeue(p)
+	if !s.draining.Empty() {
+		s.finalizeDrains()
+	}
 	return p, true
 }
 
