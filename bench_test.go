@@ -208,7 +208,7 @@ func BenchmarkSchedulerOps(b *testing.B) {
 
 // BenchmarkScaleFlows measures the payoff of the flow-indexed core: cost
 // per enqueue/dequeue cycle as the number of backlogged flows grows to
-// 100k. The packet-level heaps this core replaced were O(log total-queued-
+// 1M. The packet-level heaps this core replaced were O(log total-queued-
 // packets); FlowQ/FlowHeap make every heap operation O(log backlogged-
 // flows) and allocation-free in steady state, so these timings should grow
 // only logarithmically in B while allocs/op stays at zero (the benchdiff
@@ -233,6 +233,13 @@ func BenchmarkScaleFlows(b *testing.B) {
 			})
 		}
 	}
+	// The million-flow point pins O(log B) growth and 0 allocs/op at the
+	// extreme; one representative discipline, because the dominant cost is
+	// faulting in ~1M live flow+packet objects, which would multiply the
+	// gate's wall-clock per algorithm without adding signal.
+	b.Run("SFQ/B=1000k", func(b *testing.B) {
+		benchScheduler(b, func() sched.Interface { return core.New() }, 1000000)
+	})
 }
 
 // BenchmarkHSFQDepth measures hierarchical scheduling cost per tree depth.
@@ -303,6 +310,56 @@ func BenchmarkEventQueue(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				q.AtCall(q.Now()+horizon, tick, nil)
 				q.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkEventWheel pits the hierarchical timing wheel (eventq.Queue)
+// against the retired 4-ary heap it replaced (eventq.Heap, kept as the
+// differential baseline) at steady pending-set sizes up to one million
+// events. Each iteration schedules one event a full horizon out and fires
+// the earliest, so the wheel's O(1) bucket insert competes with the heap's
+// O(log n) sift; both paths must stay at 0 allocs/op (benchdiff-gated).
+// The cancel variant measures handle-based O(1) cancellation under the
+// same pending load — the heap offers no cancellation at all (tombstone
+// scans were the alternative this replaced).
+func BenchmarkEventWheel(b *testing.B) {
+	tick := func(any) {}
+	for _, depth := range []int{1000, 100000, 1000000} {
+		horizon := float64(depth) * 1e-6
+		fill := func(q interface{ AtCall(float64, func(any), any) }) {
+			for i := 0; i < depth; i++ {
+				q.AtCall(float64(i)*1e-6, tick, nil)
+			}
+		}
+		b.Run(fmt.Sprintf("wheel/P=%d", depth), func(b *testing.B) {
+			var q eventq.Queue
+			fill(&q)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.AtCall(q.Now()+horizon, tick, nil)
+				q.Step()
+			}
+		})
+		b.Run(fmt.Sprintf("heap/P=%d", depth), func(b *testing.B) {
+			var h eventq.Heap
+			fill(&h)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.AtCall(h.Now()+horizon, tick, nil)
+				h.Step()
+			}
+		})
+		b.Run(fmt.Sprintf("cancel/P=%d", depth), func(b *testing.B) {
+			var q eventq.Queue
+			fill(&q)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Cancel(q.Schedule(q.Now()+horizon, tick, nil))
 			}
 		})
 	}

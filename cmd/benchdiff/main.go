@@ -49,6 +49,36 @@ type delta struct {
 
 func (d delta) Regressed() bool { return d.NsRegressed || d.AllocsGrew }
 
+// NsDeltaPct is the signed ns/op change in percent ("n/a" when the old
+// file has no timing for the benchmark).
+func (d delta) NsDeltaPct() string {
+	if d.OldNs <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (d.NewNs/d.OldNs-1)*100)
+}
+
+// AllocsDelta is the signed allocs/op change; allocation counts are small
+// integers here, so an absolute delta reads better than a percentage (and
+// stays defined for the zero-alloc baselines the gate protects).
+func (d delta) AllocsDelta() string {
+	return fmt.Sprintf("%+.0f", d.NewAllocs-d.OldAllocs)
+}
+
+// onlyIn returns the benchmark names present in a but not in b, sorted.
+// Added or removed benchmarks are not regressions, but a silent rename
+// would otherwise drop a benchmark out of the gate unnoticed.
+func onlyIn(a, b map[string]benchEntry) []string {
+	var names []string
+	for name := range a {
+		if _, ok := b[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // compare pairs the benchmarks present in both files, in name order.
 // ns_per_op regresses when it grows by more than threshold (skipped
 // entirely in allocsOnly mode: time ratios between different machines
@@ -128,15 +158,23 @@ func main() {
 		os.Exit(2)
 	}
 	regressions := 0
-	fmt.Printf("%-48s %14s %14s %8s %10s %10s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "old allocs", "new allocs")
+	fmt.Printf("%-48s %14s %14s %9s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ ns/op", "old allocs", "new allocs", "Δ allocs")
 	for _, d := range deltas {
 		mark := ""
 		if d.Regressed() {
 			mark = "  << REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-48s %14.1f %14.1f %8.3f %10.0f %10.0f%s\n",
-			d.Name, d.OldNs, d.NewNs, d.NsRatio, d.OldAllocs, d.NewAllocs, mark)
+		fmt.Printf("%-48s %14.1f %14.1f %9s %10.0f %10.0f %8s%s\n",
+			d.Name, d.OldNs, d.NewNs, d.NsDeltaPct(),
+			d.OldAllocs, d.NewAllocs, d.AllocsDelta(), mark)
+	}
+	for _, name := range onlyIn(newF.Benchmarks, oldF.Benchmarks) {
+		fmt.Printf("%-48s only in %s\n", name, flag.Arg(1))
+	}
+	for _, name := range onlyIn(oldF.Benchmarks, newF.Benchmarks) {
+		fmt.Printf("%-48s only in %s\n", name, flag.Arg(0))
 	}
 	fmt.Printf("%d benchmarks compared, %d regressions (threshold %+.0f%%)\n",
 		len(deltas), regressions, *threshold*100)

@@ -38,6 +38,33 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestDeltaFormatting(t *testing.T) {
+	d := delta{OldNs: 200, NewNs: 150, OldAllocs: 3, NewAllocs: 5}
+	if got := d.NsDeltaPct(); got != "-25.0%" {
+		t.Errorf("NsDeltaPct = %q, want -25.0%%", got)
+	}
+	if got := d.AllocsDelta(); got != "+2" {
+		t.Errorf("AllocsDelta = %q, want +2", got)
+	}
+	if got := (delta{OldNs: 0, NewNs: 10}).NsDeltaPct(); got != "n/a" {
+		t.Errorf("NsDeltaPct with no baseline = %q, want n/a", got)
+	}
+	if got := (delta{OldAllocs: 2, NewAllocs: 2}).AllocsDelta(); got != "+0" {
+		t.Errorf("AllocsDelta unchanged = %q, want +0", got)
+	}
+}
+
+func TestOnlyIn(t *testing.T) {
+	oldB := map[string]benchEntry{"A": {}, "Gone2": {}, "Gone1": {}}
+	newB := map[string]benchEntry{"A": {}, "New": {}}
+	if got := onlyIn(oldB, newB); len(got) != 2 || got[0] != "Gone1" || got[1] != "Gone2" {
+		t.Errorf("removed = %v, want sorted [Gone1 Gone2]", got)
+	}
+	if got := onlyIn(newB, oldB); len(got) != 1 || got[0] != "New" {
+		t.Errorf("added = %v, want [New]", got)
+	}
+}
+
 func TestCompareExactThreshold(t *testing.T) {
 	oldB := map[string]benchEntry{"B": {NsPerOp: 100, AllocsPerOp: 5}}
 	newB := map[string]benchEntry{"B": {NsPerOp: 120, AllocsPerOp: 6}}

@@ -31,6 +31,19 @@
 //	                      transmission continues where the snapshot stopped
 //	-set-weight F:W@T     at simulated time T, change flow F's weight to W
 //	                      live (repeatable, e.g. -set-weight 2:4.5@1.0)
+//
+// Multi-hop topology (internal/topo sharded executor):
+//
+//	-hops N     run an N-link tandem chain instead of a single link; every
+//	            hop gets its own scheduler + capacity process and all flows
+//	            traverse the whole chain (stats report the last hop)
+//	-workers N  run independent links on N parallel workers (0 = one per
+//	            CPU); results are bit-identical for any worker count
+//	-prop SEC   per-hop propagation delay — the conservative lookahead that
+//	            bounds each parallel window, so it must be positive
+//
+// The observability and live-operations flags operate on a single link's
+// state and require -hops=1 (the default, whose output is unchanged).
 package main
 
 import (
@@ -51,6 +64,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/source"
+	"repro/internal/topo"
 	"repro/internal/tracelog"
 	"repro/internal/units"
 )
@@ -117,6 +131,9 @@ func main() {
 		dumpEvery  = flag.Float64("dump-every", 0, "periodic metrics dump interval in simulated seconds (0 = off; dumps to stderr)")
 		snapFile   = flag.String("snapshot", "", "write a liveops state envelope of the scheduler at t=-dur to this file")
 		restFile   = flag.String("restore", "", "restore a liveops state envelope into the scheduler before the run")
+		hops       = flag.Int("hops", 1, "tandem chain length; >1 runs the multi-link sharded topology")
+		workers    = flag.Int("workers", 1, "parallel workers for -hops>1 (0 = one per CPU)")
+		propDelay  = flag.Float64("prop", 0.001, "per-hop propagation delay in seconds (-hops>1)")
 	)
 	var setWeights weightEvents
 	flag.Var(&setWeights, "set-weight", "live weight change as flow:weight@time (repeatable)")
@@ -132,6 +149,31 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *hops > 1 {
+		// The live-ops and observability flags address one link's scheduler
+		// state; with a chain of independent per-hop schedulers there is no
+		// single state to snapshot, reconfigure, or trace.
+		if *snapFile != "" || *restFile != "" || len(setWeights) > 0 {
+			fmt.Fprintln(os.Stderr, "sfqsim: -snapshot, -restore, and -set-weight require -hops=1")
+			os.Exit(2)
+		}
+		if *traceFile != "" || *metricsOut != "" || *dumpEvery > 0 {
+			fmt.Fprintln(os.Stderr, "sfqsim: -trace, -metrics, and -dump-every require -hops=1")
+			os.Exit(2)
+		}
+		if err := runTandem(tandemConfig{
+			sched: *schedName, server: *serverKind, model: *model,
+			hops: *hops, workers: *workers, flows: *nFlows,
+			weights: weights, linkRate: linkRate, rateMbps: *rateMbps,
+			load: *load, pktBytes: *pktBytes, buffer: *buffer,
+			prop: *propDelay, duration: *duration, seed: *seed,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "sfqsim:", err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	// AssumedCapacity feeds the disciplines that need the link rate at
@@ -263,19 +305,8 @@ func main() {
 			}
 		}
 		flowRate := *load * linkRate * weights[f-1] / sumW
-		switch *model {
-		case "poisson":
-			(&source.Poisson{Q: q, Out: link, Flow: f, Rate: flowRate, PktBytes: *pktBytes,
-				Start: base, Stop: base + *duration, Rng: rand.New(rand.NewSource(rng.Int63()))}).Run()
-		case "cbr":
-			(&source.CBR{Q: q, Out: link, Flow: f, Rate: flowRate, PktBytes: *pktBytes,
-				Start: base, Stop: base + *duration}).Run()
-		case "onoff":
-			(&source.OnOff{Q: q, Out: link, Flow: f, PeakRate: 2 * flowRate, PktBytes: *pktBytes,
-				MeanOn: 0.2, MeanOff: 0.2, Start: base, Stop: base + *duration,
-				Rng: rand.New(rand.NewSource(rng.Int63()))}).Run()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown traffic model %q\n", *model)
+		if err := startSource(*model, q, link, f, flowRate, *pktBytes, base, base+*duration, rng); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 	}
@@ -318,6 +349,137 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// startSource launches one traffic source for flow f, emitting into out on
+// queue q between start and stop. Stochastic models draw exactly one child
+// seed from rng, so the per-flow seeding order is independent of the model
+// mix and of how many links the frames will traverse.
+func startSource(model string, q *eventq.Queue, out sim.Consumer, f int, rate, pktBytes, start, stop float64, rng *rand.Rand) error {
+	switch model {
+	case "poisson":
+		(&source.Poisson{Q: q, Out: out, Flow: f, Rate: rate, PktBytes: pktBytes,
+			Start: start, Stop: stop, Rng: rand.New(rand.NewSource(rng.Int63()))}).Run()
+	case "cbr":
+		(&source.CBR{Q: q, Out: out, Flow: f, Rate: rate, PktBytes: pktBytes,
+			Start: start, Stop: stop}).Run()
+	case "onoff":
+		(&source.OnOff{Q: q, Out: out, Flow: f, PeakRate: 2 * rate, PktBytes: pktBytes,
+			MeanOn: 0.2, MeanOff: 0.2, Start: start, Stop: stop,
+			Rng: rand.New(rand.NewSource(rng.Int63()))}).Run()
+	default:
+		return fmt.Errorf("unknown traffic model %q", model)
+	}
+	return nil
+}
+
+// tandemConfig carries the flag values the multi-hop mode needs.
+type tandemConfig struct {
+	sched, server, model   string
+	hops, workers, flows   int
+	weights                []float64
+	linkRate, rateMbps     float64
+	load, pktBytes, buffer float64
+	prop, duration         float64
+	seed                   int64
+}
+
+// tandemSpecs builds the N-hop chain n0 --hop1--> n1 ... --hopN--> nN.
+// Every hop gets its own scheduler instance and capacity process (distinct
+// switches draw independent capacity randomness), and every flow's route is
+// the whole chain. The per-hop propagation delay must be positive: it is
+// the conservative lookahead that lets the sharded executor run hops in
+// parallel windows.
+func tandemSpecs(schedName string, hops, nFlows int, weights []float64,
+	linkRate, buffer, prop float64, serverKind string, rng *rand.Rand) ([]topo.LinkSpec, []topo.FlowSpec, error) {
+	if hops < 2 {
+		return nil, nil, fmt.Errorf("tandem needs -hops >= 2, got %d", hops)
+	}
+	if prop <= 0 {
+		return nil, nil, fmt.Errorf("tandem needs -prop > 0 (the parallel lookahead), got %v", prop)
+	}
+	links := make([]topo.LinkSpec, hops)
+	route := make([]string, hops)
+	for i := range links {
+		s, err := sched.New(schedName, sched.WithAssumedCapacity(linkRate))
+		if err != nil {
+			return nil, nil, err
+		}
+		proc, err := makeProcess(serverKind, linkRate, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := fmt.Sprintf("hop%d", i+1)
+		links[i] = topo.LinkSpec{
+			Name: name, From: fmt.Sprintf("n%d", i), To: fmt.Sprintf("n%d", i+1),
+			Sched: s, Proc: proc, PropDelay: prop, Buffer: buffer,
+		}
+		route[i] = name
+	}
+	flows := make([]topo.FlowSpec, nFlows)
+	for f := 1; f <= nFlows; f++ {
+		flows[f-1] = topo.FlowSpec{Flow: f, Weight: weights[f-1], Route: route}
+	}
+	return links, flows, nil
+}
+
+// runTandem executes the multi-hop mode: build the chain, attach the same
+// per-flow sources as the single-link mode at the head, run the windows on
+// the requested worker count, and report the last hop's per-flow stats.
+func runTandem(cfg tandemConfig) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	links, flows, err := tandemSpecs(cfg.sched, cfg.hops, cfg.flows, cfg.weights,
+		cfg.linkRate, cfg.buffer, cfg.prop, cfg.server, rng)
+	if err != nil {
+		return err
+	}
+	sh, err := topo.BuildSharded(links, flows)
+	if err != nil {
+		return err
+	}
+	sumW := 0.0
+	for _, w := range cfg.weights {
+		sumW += w
+	}
+	for f := 1; f <= cfg.flows; f++ {
+		flowRate := cfg.load * cfg.linkRate * cfg.weights[f-1] / sumW
+		if err := startSource(cfg.model, sh.EntryQueue(f), sh.Entry(f), f,
+			flowRate, cfg.pktBytes, 0, cfg.duration, rng); err != nil {
+			return err
+		}
+	}
+	sh.Run(cfg.workers)
+
+	var drops int64
+	for _, v := range sh.Drops() {
+		drops += v
+	}
+	fmt.Printf("scheduler=%s server=%s link=%.2f Mb/s load=%.2f duration=%.1fs drops=%d\n",
+		cfg.sched, cfg.server, cfg.rateMbps, cfg.load, cfg.duration, drops)
+	fmt.Printf("hops=%d workers=%d lookahead=%gs windows=%d\n",
+		cfg.hops, cfg.workers, sh.Lookahead(), sh.Windows())
+
+	last := links[cfg.hops-1].Name
+	mon := sh.Monitor(last)
+	fmt.Println()
+	fmt.Printf("%4s %8s %12s %12s %12s %12s\n",
+		"flow", "weight", "Mb/s", "avg ms", "p99 ms", "max ms")
+	for f := 1; f <= cfg.flows; f++ {
+		d := mon.QueueDelay(f)
+		fmt.Printf("%4d %8.2f %12.4f %12.3f %12.3f %12.3f\n",
+			f, cfg.weights[f-1],
+			units.ToMbps(mon.ServedBytes(f)/cfg.duration),
+			units.ToMillis(d.Mean()), units.ToMillis(d.Percentile(99)), units.ToMillis(d.Max()))
+	}
+
+	fmt.Printf("\npairwise measured unfairness H(f,m) at %s (bytes per unit weight):\n", last)
+	for f := 1; f <= cfg.flows; f++ {
+		for m := f + 1; m <= cfg.flows; m++ {
+			h := fairness.MonitorUnfairness(mon, f, m, cfg.weights[f-1], cfg.weights[m-1])
+			fmt.Printf("  H(%d,%d) = %.1f\n", f, m, h)
+		}
+	}
+	return nil
 }
 
 // writeObservability exports the trace ring and metrics snapshot.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/sched"
+	"repro/internal/topo"
 )
 
 func TestParseWeights(t *testing.T) {
@@ -38,6 +39,87 @@ func TestRegistryConstruction(t *testing.T) {
 	}
 	if _, err := sched.New("nope", sched.WithAssumedCapacity(1000)); err == nil {
 		t.Error("unknown scheduler accepted")
+	}
+}
+
+// TestTandemSpecs checks the -hops>1 chain builder: contiguous hop
+// wiring, one scheduler instance per hop, every flow routed end to end,
+// and the flag-validation errors.
+func TestTandemSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	links, flows, err := tandemSpecs("sfq", 3, 2, []float64{1, 2}, 1e6, 4000, 0.001, "const", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 3 || len(flows) != 2 {
+		t.Fatalf("got %d links, %d flows", len(links), len(flows))
+	}
+	for i, ls := range links {
+		if ls.Name != "hop"+string(rune('1'+i)) {
+			t.Errorf("link %d named %q", i, ls.Name)
+		}
+		if i > 0 && links[i-1].To != ls.From {
+			t.Errorf("chain broken at hop %d: %q -> %q", i, links[i-1].To, ls.From)
+		}
+		for j := range links[:i] {
+			if links[j].Sched == ls.Sched {
+				t.Errorf("hops %d and %d share a scheduler instance", j, i)
+			}
+		}
+	}
+	for i, fs := range flows {
+		if fs.Flow != i+1 || fs.Weight != float64(i+1) || len(fs.Route) != 3 {
+			t.Errorf("flow spec %d = %+v", i, fs)
+		}
+	}
+	// The specs must be accepted by the sharded builder (positive prop on
+	// every cross-domain link is the lookahead precondition).
+	if _, err := topo.BuildSharded(links, flows); err != nil {
+		t.Errorf("BuildSharded rejected tandem specs: %v", err)
+	}
+
+	if _, _, err := tandemSpecs("sfq", 1, 1, []float64{1}, 1e6, 0, 0.001, "const", rng); err == nil {
+		t.Error("hops=1 accepted")
+	}
+	if _, _, err := tandemSpecs("sfq", 2, 1, []float64{1}, 1e6, 0, 0, "const", rng); err == nil {
+		t.Error("zero prop accepted")
+	}
+	if _, _, err := tandemSpecs("nope", 2, 1, []float64{1}, 1e6, 0, 0.001, "const", rng); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, _, err := tandemSpecs("sfq", 2, 1, []float64{1}, 1e6, 0, 0.001, "nope", rng); err == nil {
+		t.Error("unknown server accepted")
+	}
+}
+
+// TestTandemRunWorkersInvariant drives a short Poisson run through a
+// 3-hop chain serially and on 4 workers and requires bit-identical
+// digests — the CLI-level pin for the parallel executor.
+func TestTandemRunWorkersInvariant(t *testing.T) {
+	run := func(workers int) string {
+		rng := rand.New(rand.NewSource(7))
+		links, flows, err := tandemSpecs("sfq", 3, 2, []float64{1, 3}, 1e6, 4000, 0.0007, "const", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := topo.BuildSharded(links, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 1; f <= 2; f++ {
+			if err := startSource("poisson", sh.EntryQueue(f), sh.Entry(f), f,
+				3e5*float64(f), 500, 0, 0.5, rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sh.Run(workers)
+		if sh.Sink(1).Count(1) == 0 || sh.Sink(2).Count(2) == 0 {
+			t.Fatal("a flow delivered nothing end to end")
+		}
+		return sh.Digest()
+	}
+	if serial, parallel := run(1), run(4); serial != parallel {
+		t.Errorf("digest differs between 1 and 4 workers:\n%s\nvs\n%s", serial, parallel)
 	}
 }
 

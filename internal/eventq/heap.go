@@ -1,0 +1,158 @@
+package eventq
+
+import (
+	"fmt"
+	"math"
+)
+
+// Heap is the retired typed 4-ary heap event queue the timing wheel
+// replaced. It is kept (a) as the differential baseline for
+// BenchmarkEventWheel — the O(log pending) cost the wheel removes — and
+// (b) as an ordering oracle alongside the naive model in FuzzEventQueue.
+// It mirrors the Queue API minus cancellation; the zero value is ready to
+// use.
+type Heap struct {
+	h     []heapEvent
+	now   float64
+	seq   uint64
+	steps uint64
+}
+
+type heapEvent struct {
+	time float64
+	seq  uint64
+	fn   func(any)
+	arg  any
+}
+
+func (a heapEvent) before(b heapEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// Now returns the current simulated time in seconds.
+func (q *Heap) Now() float64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Heap) Len() int { return len(q.h) }
+
+// Steps returns the number of events executed so far.
+func (q *Heap) Steps() uint64 { return q.steps }
+
+// At schedules fn to run at absolute time t.
+func (q *Heap) At(t float64, fn func()) { q.push(t, runNullary, fn) }
+
+// AtCall schedules fn(arg) to run at absolute time t (see Queue.AtCall).
+func (q *Heap) AtCall(t float64, fn func(any), arg any) {
+	if fn == nil {
+		panic("eventq: AtCall requires a callback")
+	}
+	q.push(t, fn, arg)
+}
+
+// After schedules fn to run d seconds from now.
+func (q *Heap) After(d float64, fn func()) { q.At(q.now+d, fn) }
+
+// AfterCall schedules fn(arg) to run d seconds from now.
+func (q *Heap) AfterCall(d float64, fn func(any), arg any) { q.AtCall(q.now+d, fn, arg) }
+
+func (q *Heap) push(t float64, fn func(any), arg any) {
+	if t < q.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", t, q.now))
+	}
+	if math.IsNaN(t) {
+		panic("eventq: scheduling at NaN")
+	}
+	if math.IsInf(t, 1) {
+		panic("eventq: scheduling at +Inf; an event at 'never' would wedge Run — treat server.Never as a stall instead of scheduling it")
+	}
+	q.seq++
+	e := heapEvent{time: t, seq: q.seq, fn: fn, arg: arg}
+	q.h = append(q.h, e)
+	// Sift up through the 4-ary tree: parent of i is (i-1)/4.
+	h := q.h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+// pop removes and returns the earliest event.
+func (q *Heap) pop() heapEvent {
+	h := q.h
+	top := h[0]
+	n := len(h) - 1
+	e := h[n]
+	h[n] = heapEvent{} // release the callback and arg references
+	q.h = h[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift down: the hole travels toward the leaves along the smallest of
+	// up to four children (children of i are 4i+1 .. 4i+4).
+	h = q.h
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].before(h[min]) {
+				min = j
+			}
+		}
+		if !h[min].before(e) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = e
+	return top
+}
+
+// Step executes the earliest pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (q *Heap) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := q.pop()
+	q.now = e.time
+	q.steps++
+	e.fn(e.arg)
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (q *Heap) Run() {
+	for q.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (q *Heap) RunUntil(t float64) {
+	for len(q.h) > 0 && q.h[0].time <= t {
+		q.Step()
+	}
+	if t > q.now {
+		q.now = t
+	}
+}
+
+// RunFor executes events for d seconds of simulated time from now.
+func (q *Heap) RunFor(d float64) { q.RunUntil(q.now + d) }

@@ -1,0 +1,318 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestCancelLenSteps is the regression test for the cancellation
+// bookkeeping satellite: Cancel must decrement Len exactly once, never
+// bump Steps, and a cancelled event must never fire. It exercises all
+// three tiers a pending event can live in (ready heap, wheel bucket,
+// overflow heap).
+func TestCancelLenSteps(t *testing.T) {
+	var q Queue
+	fired := map[int]bool{}
+	rec := func(arg any) { fired[arg.(int)] = true }
+
+	// Three co-resident events per tier. Tick resolution is 1µs, so:
+	// ready-tier events need the cursor advanced past them (schedule two,
+	// fire one to drag the cursor), wheel events sit microseconds-to-
+	// minutes out, overflow events sit > 2^32 µs ≈ 71.6 min out.
+	hWheel := q.Schedule(0.001, rec, 1)
+	hWheel2 := q.Schedule(0.002, rec, 2)
+	hOver := q.Schedule(1e7, rec, 3)
+	hNear := q.Schedule(3e-7, rec, 4) // sub-tick: lands in ready after first peek
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+
+	// Peek drags the cursor to the first pending tick, moving hNear's node
+	// into the ready tier without firing anything.
+	if tt, ok := q.PeekTime(); !ok || tt != 3e-7 {
+		t.Fatalf("PeekTime = %v,%v", tt, ok)
+	}
+	if q.Steps() != 0 {
+		t.Fatalf("Steps after peek = %d, want 0", q.Steps())
+	}
+
+	for i, h := range []Handle{hNear, hWheel, hOver} {
+		if !q.Cancel(h) {
+			t.Fatalf("Cancel #%d returned false for a pending event", i)
+		}
+		if q.Cancel(h) {
+			t.Fatalf("double Cancel #%d returned true", i)
+		}
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len after 3 cancels = %d, want 1", q.Len())
+	}
+	if q.Steps() != 0 {
+		t.Fatalf("Steps after cancels = %d, want 0", q.Steps())
+	}
+
+	q.Run()
+	if q.Len() != 0 || q.Steps() != 1 {
+		t.Fatalf("after Run: Len=%d Steps=%d, want 0/1", q.Len(), q.Steps())
+	}
+	if fired[1] || fired[3] || fired[4] || !fired[2] {
+		t.Fatalf("fired = %v, want only id 2", fired)
+	}
+	// The handle of a fired event is stale.
+	if q.Cancel(hWheel2) {
+		t.Fatal("Cancel of an already-fired event returned true")
+	}
+	// The zero Handle never cancels.
+	if q.Cancel(Handle{}) {
+		t.Fatal("Cancel of zero Handle returned true")
+	}
+}
+
+// TestHandleStaleAfterReuse pins the ABA guard: once a node is recycled
+// for a new event, the old Handle (same node pointer, older seq) must not
+// cancel the new event.
+func TestHandleStaleAfterReuse(t *testing.T) {
+	var q Queue
+	var fired int
+	count := func(any) { fired++ }
+	h1 := q.Schedule(1, count, nil)
+	if !q.Cancel(h1) {
+		t.Fatal("first Cancel failed")
+	}
+	// The freed node is recycled for the next event.
+	h2 := q.Schedule(2, count, nil)
+	if q.Cancel(h1) {
+		t.Fatal("stale Handle cancelled a recycled node's new event")
+	}
+	q.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if q.Cancel(h2) {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+// TestCascadeAcrossLevels schedules events spanning every wheel level and
+// the overflow tier with heavy ties, and checks the execution order is the
+// exact (time, seq) order — i.e. cascading from high levels down to the
+// ready tier loses neither events nor ordering.
+func TestCascadeAcrossLevels(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		type ev struct {
+			time float64
+			seq  int
+		}
+		var want []ev
+		var got []ev
+		// Scales chosen to land in level 0 (µs), 1-2 (ms-s), 3 (minutes),
+		// and overflow (> 71.6 min = 4295 s).
+		scales := []float64{1e-6, 1e-3, 1, 60, 1e4}
+		for i := 0; i < 400; i++ {
+			tt := float64(rng.Intn(16)) * scales[rng.Intn(len(scales))]
+			e := ev{time: tt, seq: i}
+			want = append(want, e)
+			q.AtCall(tt, func(arg any) { got = append(got, arg.(ev)) }, e)
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].time < want[j].time })
+		q.Run()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d of %d events", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: event %d = %+v, want %+v", seed, i, got[i], want[i])
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("seed %d: Len = %d after Run", seed, q.Len())
+		}
+	}
+}
+
+// TestWheelMatchesHeapWithCancels drives the wheel and the retired Heap
+// baseline with an identical random schedule, cancelling a random subset
+// on the wheel and simply skipping those ids on the heap side, and
+// requires identical execution order of the survivors. Interleaves
+// scheduling with stepping so the cursor is mid-wheel when new events
+// arrive (the "push behind the cursor" path).
+func TestWheelMatchesHeapWithCancels(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var h Heap
+		cancelled := map[int]bool{}
+		var got, want []int
+		var handles []Handle
+		var ids []int
+		id := 0
+		schedule := func(n int) {
+			for i := 0; i < n; i++ {
+				tt := q.Now() + rng.Float64()*float64(rng.Intn(5000))*1e-3
+				myID := id
+				id++
+				handles = append(handles, q.Schedule(tt, func(arg any) {
+					got = append(got, arg.(int))
+				}, myID))
+				ids = append(ids, myID)
+				h.AtCall(tt, func(arg any) {
+					if !cancelled[arg.(int)] {
+						want = append(want, arg.(int))
+					}
+				}, myID)
+			}
+		}
+		schedule(100)
+		for round := 0; round < 20; round++ {
+			// Cancel a few random outstanding handles.
+			for i := 0; i < 3 && len(handles) > 0; i++ {
+				k := rng.Intn(len(handles))
+				if q.Cancel(handles[k]) {
+					cancelled[ids[k]] = true
+				}
+				handles = append(handles[:k], handles[k+1:]...)
+				ids = append(ids[:k], ids[k+1:]...)
+			}
+			for i := 0; i < 10; i++ {
+				q.Step()
+				h.Step()
+			}
+			schedule(10)
+		}
+		q.Run()
+		h.Run()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: wheel fired %d, heap fired %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: position %d: wheel %d, heap %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCancelZeroAlloc: the schedule/cancel cycle must not allocate in
+// steady state — cancelled nodes return to the free list.
+func TestCancelZeroAlloc(t *testing.T) {
+	var q Queue
+	count := func(any) {}
+	// Warm the free list and tier slices.
+	hs := make([]Handle, 64)
+	for i := range hs {
+		hs[i] = q.Schedule(float64(i+1), count, nil)
+	}
+	for _, h := range hs {
+		q.Cancel(h)
+	}
+	base := 100.0
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range hs {
+			hs[i] = q.Schedule(base+float64(i), count, nil)
+		}
+		for _, h := range hs {
+			if !q.Cancel(h) {
+				t.Fatal("cancel failed")
+			}
+		}
+		base += 100
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule/Cancel cycle allocated %v times, want 0", allocs)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after cancelling everything", q.Len())
+	}
+}
+
+// TestRunBefore pins the half-open window semantics used by the parallel
+// topology runner: events strictly before the horizon run, events at the
+// horizon wait, and the clock lands exactly on the horizon.
+func TestRunBefore(t *testing.T) {
+	var q Queue
+	fired := map[float64]bool{}
+	for _, tt := range []float64{1, 2, 3} {
+		tt := tt
+		q.At(tt, func() { fired[tt] = true })
+	}
+	q.RunBefore(2)
+	if !fired[1] || fired[2] {
+		t.Fatalf("RunBefore(2) fired %v", fired)
+	}
+	if q.Now() != 2 {
+		t.Fatalf("Now = %v, want 2", q.Now())
+	}
+	// Scheduling exactly at the horizon from the next window is legal.
+	q.At(2, func() { fired[2.5] = true })
+	q.RunBefore(4)
+	if !fired[2] || !fired[2.5] || !fired[3] {
+		t.Fatalf("RunBefore(4) fired %v", fired)
+	}
+	if q.Now() != 4 {
+		t.Fatalf("Now = %v, want 4", q.Now())
+	}
+}
+
+// TestPeekThenEarlierPush pins the cursor-runs-ahead subtlety: peeking an
+// empty-ish queue advances the wheel cursor; a later push with an earlier
+// (but still future) time must fire first regardless.
+func TestPeekThenEarlierPush(t *testing.T) {
+	var q Queue
+	var got []int
+	rec := func(arg any) { got = append(got, arg.(int)) }
+	q.AtCall(10, rec, 1)
+	if tt, ok := q.PeekTime(); !ok || tt != 10 {
+		t.Fatalf("PeekTime = %v,%v", tt, ok)
+	}
+	// Cursor now sits at tick(10); these pushes land at or behind it.
+	q.AtCall(1, rec, 2)
+	q.AtCall(5, rec, 3)
+	q.AtCall(10, rec, 4)
+	q.Run()
+	wantOrder := []int{2, 3, 1, 4}
+	if len(got) != 4 {
+		t.Fatalf("fired %v", got)
+	}
+	for i := range got {
+		if got[i] != wantOrder[i] {
+			t.Fatalf("order = %v, want %v", got, wantOrder)
+		}
+	}
+}
+
+// TestSetResolution covers the coarse/fine resolution knob and its misuse
+// guards.
+func TestSetResolution(t *testing.T) {
+	var q Queue
+	q.SetResolution(1e-3)
+	var got []int
+	rec := func(arg any) { got = append(got, arg.(int)) }
+	// Sub-tick spacing at 1ms resolution: ordering must still be exact.
+	q.AtCall(1.0004, rec, 2)
+	q.AtCall(1.0001, rec, 1)
+	q.AtCall(2, rec, 3)
+	q.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetResolution after use should panic")
+			}
+		}()
+		q.SetResolution(1e-6)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetResolution(0) should panic")
+			}
+		}()
+		var q2 Queue
+		q2.SetResolution(0)
+	}()
+}

@@ -323,6 +323,153 @@ func TestForgetFlowBoundsState(t *testing.T) {
 	}
 }
 
+// TestLinkFailLeavesNoTombstones pins the handle-based cancellation
+// contract: Fail cancels the pending completion event outright, so the
+// event queue holds no stale ("tombstone") events afterwards — Len counts
+// only genuinely pending work. Under the old epoch scheme the cancelled
+// completion stayed queued and fired as a no-op.
+func TestLinkFailLeavesNoTombstones(t *testing.T) {
+	q := &eventq.Queue{}
+	s := core.New()
+	if err := s.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sink := sim.NewSink(q)
+	link := sim.NewLink(q, "l", s, server.NewConstantRate(100), sink)
+
+	q.At(0, func() {
+		link.Deliver(&sim.Frame{Flow: 1, Bytes: 100}) // in service 0..1
+		link.Deliver(&sim.Frame{Flow: 1, Bytes: 100}) // queued
+	})
+	q.At(0.4, func() {
+		// Pending now: this link's completion (t=1), Fail (t=0.5),
+		// Recover (t=3), and the final audit event (t=10).
+		if got := q.Len(); got != 4 {
+			t.Errorf("Len before Fail = %d, want 4", got)
+		}
+	})
+	q.At(0.5, func() {
+		link.Fail()
+		// The completion event must be gone, not tombstoned: only
+		// Recover (t=3) and the audit event (t=10) remain.
+		if got := q.Len(); got != 2 {
+			t.Errorf("Len after Fail = %d, want 2 (completion cancelled, not tombstoned)", got)
+		}
+	})
+	q.At(3, link.Recover)
+	steps := uint64(0)
+	q.At(10, func() { steps = q.Steps() })
+	q.Run()
+
+	// Exactly 7 events ever fire: the 4 At callbacks above plus the
+	// completion of frame 2 (service 3..4), its zero-delay handoff is
+	// inline, and... enumerate: t=0 setup, t=0.4 check, t=0.5 fail,
+	// t=3 recover (restarts service), t=4 completion, t=10 audit. The
+	// cancelled completion never fires, so Steps counts 6 by t=10.
+	if steps != 6 {
+		t.Errorf("Steps = %d, want 6 (cancelled completion must not fire)", steps)
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after Run, want 0", q.Len())
+	}
+	if sink.Count(1) != 1 || link.DropsFor(sim.DropLinkDown) != 1 {
+		t.Errorf("delivered %d / link-down drops %d, want 1/1",
+			sink.Count(1), link.DropsFor(sim.DropLinkDown))
+	}
+}
+
+// TestLinkFailRecoverByteExactAccounting: across repeated outages, every
+// offered byte lands in exactly one bucket — delivered, dropped, or still
+// queued — with no float residue, even with binary-fraction frame sizes.
+// Drop bytes are accumulated through OnDrop, which sees the exact frame.
+func TestLinkFailRecoverByteExactAccounting(t *testing.T) {
+	q := &eventq.Queue{}
+	s := core.New()
+	if err := s.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddFlow(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	sink := sim.NewSink(q)
+	link := sim.NewLink(q, "l", s, server.NewConstantRate(1), sink)
+	// Per-frame disposition: every offered frame must end up delivered or
+	// dropped, exactly once, with its Bytes intact. Summing the surviving
+	// bytes in the original send order makes the conservation check exact
+	// (bit-identical), with no float reassociation slack.
+	const (
+		stDelivered = 1
+		stDropped   = 2
+	)
+	status := map[*sim.Frame]int{}
+	dropsByCause := map[sim.DropCause]int{}
+	link.OnDrop = func(f *sim.Frame, cause sim.DropCause) {
+		if status[f] != 0 {
+			t.Errorf("frame %p dropped after already accounted (status %d)", f, status[f])
+		}
+		status[f] = stDropped
+		dropsByCause[cause]++
+	}
+	sink.OnReceive = func(f *sim.Frame, _ float64) {
+		if status[f] != 0 {
+			t.Errorf("frame %p delivered after already accounted (status %d)", f, status[f])
+		}
+		status[f] = stDelivered
+	}
+
+	var frames []*sim.Frame
+	sizes := []float64{0.1, 0.2, 0.3, 33.34, 0.7}
+	for i := 0; i < 40; i++ {
+		f := &sim.Frame{Flow: 1 + i%2, Bytes: sizes[i%len(sizes)]}
+		frames = append(frames, f)
+		q.At(float64(i)*0.8, func() { link.Deliver(f) })
+	}
+	// Three outages, each cutting down a transmission in flight.
+	for _, tt := range []float64{5.3, 14.7, 26.1} {
+		tt := tt
+		q.At(tt, link.Fail)
+		q.At(tt+2, link.Recover)
+	}
+	q.Run()
+
+	if link.QueuedBytes() != 0 {
+		t.Errorf("residual queued bytes %v, want exact 0", link.QueuedBytes())
+	}
+	var offered, accounted, deliveredBytes float64
+	for _, f := range frames {
+		offered += f.Bytes
+		switch status[f] {
+		case stDelivered:
+			accounted += f.Bytes
+			deliveredBytes += f.Bytes
+		case stDropped:
+			accounted += f.Bytes
+		default:
+			t.Errorf("frame %+v neither delivered nor dropped", f)
+		}
+	}
+	if accounted != offered {
+		t.Errorf("byte conservation: accounted %v, offered %v (diff %v)",
+			accounted, offered, accounted-offered)
+	}
+	// The sink's own per-flow byte counters agree with the per-frame view
+	// (same frames, so the sums can only differ by summation order — pin
+	// them approximately; the exact claim is the per-frame one above).
+	if got := sink.Bytes(1) + sink.Bytes(2); math.Abs(got-deliveredBytes) > 1e-9 {
+		t.Errorf("sink bytes %v vs per-frame delivered %v", got, deliveredBytes)
+	}
+	if dropsByCause[sim.DropLinkDown] != 3 {
+		t.Errorf("link-down drops = %d, want 3 (one per outage)", dropsByCause[sim.DropLinkDown])
+	}
+	if int(link.Drops()) != dropsByCause[sim.DropLinkDown] {
+		t.Errorf("Drops() = %d disagrees with OnDrop count %d", link.Drops(), dropsByCause[sim.DropLinkDown])
+	}
+	// And no tombstones linger after the final drain.
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after Run, want 0", q.Len())
+	}
+}
+
 // TestDropsUnderOverloadAllSchedulers: sustained 3x overload with a tiny
 // buffer; every scheduler must keep the link fully utilized and drop the
 // excess without bookkeeping drift.

@@ -107,9 +107,13 @@ type Link struct {
 	OnEnqueue func(f *Frame, now float64)
 	OnDepart  func(f *Frame, startTx, endTx float64)
 
-	busy        bool
-	down        bool
-	epoch       uint64 // bumped by Fail; cancels in-flight completions
+	busy bool
+	down bool
+	// pending is the handle of the scheduled completion event while busy;
+	// Fail cancels it in O(1), so a failed transmission leaves no tombstone
+	// event in the queue (pendingEv is recycled immediately).
+	pending     eventq.Handle
+	pendingEv   *linkEvent
 	inflight    *Frame
 	drops       int64
 	dropsCause  map[DropCause]int64
@@ -143,17 +147,17 @@ type Link struct {
 }
 
 // linkEvent carries one transmission through its completion and (optional)
-// propagation events. It snapshots the values the old closures captured —
-// crucially its own epoch: a stale completion (scheduled before Fail,
-// firing after Recover started a new transmission) must see ITS epoch, not
-// whatever the link's counter has advanced to, or it would complete the
-// wrong transmission.
+// propagation events, snapshotting the values the old closures captured.
+// Completions need no staleness marker: Fail cancels the pending
+// completion through its eventq.Handle, so a completion that fires always
+// belongs to the live transmission. (Earlier revisions tagged events with
+// a failure epoch and let stale completions fire as no-ops; the timing
+// wheel's O(1) cancel removed the tombstones outright.)
 type linkEvent struct {
 	l     *Link
 	f     *Frame
 	start float64
 	end   float64
-	epoch uint64
 }
 
 func (l *Link) getEvent() *linkEvent {
@@ -338,15 +342,19 @@ func (l *Link) Deliver(f *Frame) {
 
 // Fail takes the link down. The frame in transmission (if any) is lost and
 // counted as a DropLinkDown; queued frames stay queued behind the dead
-// link. Calling Fail on a down link is a no-op.
+// link. The pending completion event is cancelled outright — no stale
+// event remains in the queue. Calling Fail on a down link is a no-op.
 func (l *Link) Fail() {
 	if l.down {
 		return
 	}
 	l.down = true
-	l.epoch++ // cancels the pending completion event, if any
 	if l.busy {
 		l.busy = false
+		if l.q.Cancel(l.pending) {
+			l.putEvent(l.pendingEv)
+		}
+		l.pendingEv = nil
 		f := l.inflight
 		l.inflight = nil
 		l.drop(f, DropLinkDown)
@@ -422,8 +430,9 @@ func (l *Link) startNext() {
 		l.busy = true
 		l.inflight = f
 		ev := l.getEvent()
-		ev.l, ev.f, ev.start, ev.end, ev.epoch = l, f, now, end, l.epoch
-		l.q.AtCall(end, linkComplete, ev)
+		ev.l, ev.f, ev.start, ev.end = l, f, now, end
+		l.pending = l.q.Schedule(end, linkComplete, ev)
+		l.pendingEv = ev
 		return
 	}
 }
@@ -434,10 +443,6 @@ func (l *Link) startNext() {
 func linkComplete(arg any) {
 	ev := arg.(*linkEvent)
 	l := ev.l
-	if ev.epoch != l.epoch {
-		l.putEvent(ev)
-		return // the link failed mid-transmission; frame already dropped
-	}
 	l.inflight = nil
 	l.delivered++
 	if l.OnDepart != nil {

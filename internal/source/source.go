@@ -79,22 +79,26 @@ func (s *Poisson) Run() {
 	if s.Rng == nil {
 		panic("source: Poisson requires an explicit rng")
 	}
-	mean := s.PktBytes / s.Rate
-	var emit func()
-	var schedule func(from float64)
-	schedule = func(from float64) {
-		next := from + s.Rng.ExpFloat64()*mean
-		if next < s.Stop {
-			s.Q.At(next, emit)
-		}
+	s.scheduleNext(s.Start)
+}
+
+// poissonEmit emits one packet and draws the next interarrival. Like
+// cbrEmit, a plain function taking the source as its event argument, so
+// per-packet scheduling allocates no closure. The rng draw order is
+// identical to the old closure form, keeping seeded runs reproducible.
+func poissonEmit(arg any) {
+	s := arg.(*Poisson)
+	now := s.Q.Now()
+	s.seq++
+	s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: s.PktBytes, Created: now})
+	s.scheduleNext(now)
+}
+
+func (s *Poisson) scheduleNext(from float64) {
+	next := from + s.Rng.ExpFloat64()*(s.PktBytes/s.Rate)
+	if next < s.Stop {
+		s.Q.AtCall(next, poissonEmit, s)
 	}
-	emit = func() {
-		now := s.Q.Now()
-		s.seq++
-		s.Out.Deliver(&sim.Frame{Flow: s.Flow, Seq: s.seq, Bytes: s.PktBytes, Created: now})
-		schedule(now)
-	}
-	schedule(s.Start)
 }
 
 // OnOff alternates exponential on and off periods; while on it emits CBR
