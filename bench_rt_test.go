@@ -1,0 +1,105 @@
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rt"
+	"repro/internal/sched"
+)
+
+// BenchmarkRuntimeThroughput measures the real-time data path end to end:
+// workers pinned to shards push batches through EnqueueBatch/DequeueBatch
+// against the wall clock, reusing dequeued packets (SFQ is pool-safe), so
+// the steady state is allocation-free — the benchdiff gate holds allocs/op
+// at zero. One op is one packet through the full enqueue+dequeue cycle;
+// aggregate requests/s is 1e9/ns_per_op. The grid crosses shard counts
+// with goroutine counts: G=S is the pinned-worker fast path, G=2S makes
+// two workers contend for every shard lock.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, mult := range []int{1, 2} {
+			workers := shards * mult
+			b.Run(fmt.Sprintf("S=%d/G=%d", shards, workers), func(b *testing.B) {
+				benchRuntimeThroughput(b, shards, workers)
+			})
+		}
+	}
+}
+
+func benchRuntimeThroughput(b *testing.B, shards, workers int) {
+	r, err := rt.New("sfq", sched.WithShards(shards), sched.WithClock(rt.WallClock()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Register flowsPerShard flows on every shard (flow ids are hashed, so
+	// scan ids until each shard has its quota).
+	const flowsPerShard = 4
+	shardFlows := make([][]int, shards)
+	for f, need := 0, shards*flowsPerShard; need > 0; f++ {
+		s := r.ShardOf(f)
+		if len(shardFlows[s]) < flowsPerShard {
+			if err := r.AddFlow(f, float64(len(shardFlows[s])+1)); err != nil {
+				b.Fatal(err)
+			}
+			shardFlows[s] = append(shardFlows[s], f)
+			need--
+		}
+	}
+	const batch = 64
+	// A standing backlog per shard so concurrent dequeues never spin long.
+	for s := 0; s < shards; s++ {
+		for i := 0; i < batch; i++ {
+			if err := r.Enqueue(&sched.Packet{Flow: shardFlows[s][i%flowsPerShard], Length: 100}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Per-worker packet sets, allocated before the timer starts; afterwards
+	// every round recycles the packets it just dequeued.
+	enqBufs := make([][]*sched.Packet, workers)
+	deqBufs := make([][]*sched.Packet, workers)
+	for w := 0; w < workers; w++ {
+		enqBufs[w] = make([]*sched.Packet, batch)
+		deqBufs[w] = make([]*sched.Packet, batch)
+		flows := shardFlows[w%shards]
+		for i := range enqBufs[w] {
+			enqBufs[w][i] = &sched.Packet{Flow: flows[i%len(flows)], Length: 100}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := w % shards
+			enq, deq := enqBufs[w], deqBufs[w]
+			mine := b.N / workers
+			if w < b.N%workers {
+				mine++
+			}
+			for done := 0; done < mine; {
+				n := batch
+				if mine-done < n {
+					n = mine - done
+				}
+				if acc, err := r.EnqueueBatch(enq[:n]); err != nil || acc != n {
+					b.Errorf("worker %d: enqueue batch: %d/%d, %v", w, acc, n, err)
+					return
+				}
+				// Another worker on this shard may momentarily hold the
+				// packets we just queued; keep popping until we got n back.
+				got := 0
+				for got < n {
+					got += r.DequeueBatch(s, deq[got:n])
+				}
+				copy(enq, deq[:n])
+				done += n
+			}
+		}(w)
+	}
+	wg.Wait()
+}

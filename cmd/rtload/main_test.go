@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestRunDataMode smoke-tests the raw data path: every offered request is
+// served (no bound), the per-flow ledgers cover the total, and the run
+// reports a positive rate.
+func TestRunDataMode(t *testing.T) {
+	cfg := config{sched: "sfq", shards: 2, flows: 6, ops: 5000, batch: 32, length: 100, mode: "data"}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.served != int64(cfg.ops) {
+		t.Fatalf("served %d of %d", rep.served, cfg.ops)
+	}
+	if rep.shed != 0 {
+		t.Fatalf("shed %d with no queue bound", rep.shed)
+	}
+	var sum int64
+	for _, fr := range rep.perFlow {
+		sum += fr.served
+	}
+	if sum != rep.served {
+		t.Fatalf("per-flow sum %d != total %d", sum, rep.served)
+	}
+	if rep.reqPerSc <= 0 {
+		t.Fatalf("rate %v", rep.reqPerSc)
+	}
+}
+
+// TestRunDataModeBounded drives a tiny queue bound hard enough to shed and
+// checks the books still balance: offered = served + shed.
+func TestRunDataModeBounded(t *testing.T) {
+	cfg := config{sched: "sfq", shards: 1, workers: 2, flows: 2, ops: 4000, batch: 64, length: 10, limit: 8, mode: "data"}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.served+rep.shed != int64(cfg.ops) {
+		t.Fatalf("served %d + shed %d != offered %d", rep.served, rep.shed, cfg.ops)
+	}
+}
+
+// TestRunAdmitMode smoke-tests the facade path end to end.
+func TestRunAdmitMode(t *testing.T) {
+	cfg := config{sched: "sfq", shards: 1, flows: 3, ops: 600, batch: 1, length: 50, mode: "admit", seats: 4}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.served != int64(cfg.ops) {
+		t.Fatalf("served %d of %d", rep.served, cfg.ops)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := run(config{sched: "sfq", flows: 1, batch: 1, ops: 0, mode: "data"}); err == nil {
+		t.Fatal("ops=0 accepted")
+	}
+	if _, err := run(config{sched: "no-such", flows: 1, batch: 1, ops: 1, mode: "data"}); err == nil {
+		t.Fatal("unknown discipline accepted")
+	}
+	if _, err := run(config{sched: "sfq", flows: 1, batch: 1, ops: 1, mode: "weird"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -108,6 +108,36 @@ func TestRegistryRoundTrip(t *testing.T) {
 	if testing.Short() {
 		seeds = 10
 	}
+	// Runtime-driven construction rides the same names: a clock (and
+	// optional sharding) flips sched.New to the rt builder, and nonsensical
+	// combinations are one errors.Is check. This binary imports internal/rt
+	// (runtime_test.go), so the builder is registered; the builder-absent
+	// half of the matrix is pinned in internal/sched's own tests.
+	t.Run("runtime-combos", func(t *testing.T) {
+		if _, err := sched.New("sfq", sched.WithShards(-1)); !errors.Is(err, sched.ErrBadConfig) {
+			t.Errorf("WithShards(-1): %v, want ErrBadConfig", err)
+		}
+		if _, err := sched.New("sfq", sched.WithShards(2)); !errors.Is(err, sched.ErrBadConfig) {
+			t.Errorf("WithShards(2) without clock: %v, want ErrBadConfig", err)
+		}
+		if _, err := sched.New("no-such", sched.WithClock(&sched.ManualClock{})); !errors.Is(err, sched.ErrBadConfig) {
+			t.Errorf("runtime-driven unknown name: %v, want ErrBadConfig", err)
+		}
+		s, err := sched.New("sfq", sched.WithClock(&sched.ManualClock{}), sched.WithShards(4))
+		if err != nil {
+			t.Fatalf("runtime-driven construction: %v", err)
+		}
+		if err := s.AddFlow(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Enqueue(0, &sched.Packet{Flow: 1, Length: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Dequeue(0); !ok {
+			t.Fatal("runtime-driven instance did not serve its packet")
+		}
+	})
+
 	for name, mkDirect := range direct {
 		mkReg, ok := viaReg[name]
 		if !ok {

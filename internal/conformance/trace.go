@@ -20,13 +20,19 @@ type Stamp struct {
 }
 
 // Trace is the operation log of one run: every successful Enqueue in
-// call order and every successful Dequeue in service order. The replay
+// call order, every successful Dequeue in service order, and every
+// *failed* Dequeue (Idle, with a nil packet) — the end-of-busy-period
+// calls that, for the self-clocked disciplines, reset the system virtual
+// time (SFQ step 2 sets v to the maximum finish tag there). The replay
 // checkers in invariants.go consume it alongside the sim.Monitor service
 // records (Trace.Deq[i] is the packet of Monitor.Records[i]: a link
-// transmits packets sequentially in dequeue order).
+// transmits packets sequentially in dequeue order); the runtime replay
+// (runtime_test.go) additionally needs Idle to reproduce the simulator's
+// exact call sequence, busy-period boundaries included.
 type Trace struct {
-	Enq []Stamp
-	Deq []Stamp
+	Enq  []Stamp
+	Deq  []Stamp
+	Idle []Stamp
 }
 
 // recorder decorates a scheduler, logging successful operations.
@@ -59,9 +65,11 @@ func (r *recorder) Enqueue(now float64, p *sched.Packet) error {
 
 func (r *recorder) Dequeue(now float64) (*sched.Packet, bool) {
 	p, ok := r.inner.Dequeue(now)
+	r.op++
 	if ok {
-		r.op++
 		r.tr.Deq = append(r.tr.Deq, Stamp{Now: now, Op: r.op, P: p})
+	} else {
+		r.tr.Idle = append(r.tr.Idle, Stamp{Now: now, Op: r.op})
 	}
 	return p, ok
 }

@@ -24,7 +24,7 @@ func SnapshotRestore(mk func() sched.Interface) func(float64, sched.Interface) (
 	return func(_ float64, inner sched.Interface) (sched.Interface, error) {
 		snap, ok := inner.(sched.Snapshotter)
 		if !ok {
-			return nil, fmt.Errorf("liveops: %T does not support snapshots", inner)
+			return nil, fmt.Errorf("%w: %T does not support snapshots", sched.ErrBadState, inner)
 		}
 		return Clone(snap, mk)
 	}

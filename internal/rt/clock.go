@@ -1,0 +1,25 @@
+package rt
+
+import (
+	"time"
+
+	"repro/internal/sched"
+)
+
+// wallClock reads the process monotonic clock as float64 seconds since
+// construction. time.Since on a time.Time carrying a monotonic reading
+// never goes backwards, which is exactly the Clock contract; the zero
+// point is arbitrary (only differences feed the tag equations).
+type wallClock struct {
+	start time.Time
+}
+
+// WallClock returns a monotonic wall clock starting at 0. This is the
+// default time source of a Runtime: the discipline's virtual-time
+// equations run over real elapsed seconds, so a flow's start tags advance
+// with actual service, not simulated service.
+func WallClock() sched.Clock {
+	return &wallClock{start: time.Now()}
+}
+
+func (c *wallClock) Now() float64 { return time.Since(c.start).Seconds() }

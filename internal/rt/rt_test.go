@@ -1,0 +1,410 @@
+package rt_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	_ "repro/internal/core"
+	"repro/internal/rt"
+	"repro/internal/sched"
+)
+
+func mustRuntime(t *testing.T, name string, opts ...sched.Option) *rt.Runtime {
+	t.Helper()
+	r, err := rt.New(name, opts...)
+	if err != nil {
+		t.Fatalf("rt.New(%q): %v", name, err)
+	}
+	return r
+}
+
+func TestRuntimeBasics(t *testing.T) {
+	clock := &sched.ManualClock{}
+	r := mustRuntime(t, "sfq", sched.WithClock(clock), sched.WithShards(1))
+	if r.Name() != "sfq" || r.Shards() != 1 {
+		t.Fatalf("Name/Shards = %q/%d", r.Name(), r.Shards())
+	}
+	if !r.PoolSafe() {
+		t.Fatal("sfq runtime should be pool-safe")
+	}
+	if err := r.Enqueue(&sched.Packet{Flow: 7, Length: 10}); !errors.Is(err, sched.ErrUnknownFlow) {
+		t.Fatalf("enqueue unregistered flow: %v", err)
+	}
+	if err := r.AddFlow(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	clock.Set(1)
+	p := &sched.Packet{Flow: 7, Length: 10}
+	if err := r.Enqueue(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Arrival != 1 {
+		t.Fatalf("Arrival = %v, want clock reading 1", p.Arrival)
+	}
+	if r.Len() != 1 || r.QueuedBytes(7) != 10 {
+		t.Fatalf("Len/QueuedBytes = %d/%v", r.Len(), r.QueuedBytes(7))
+	}
+	if err := r.RemoveFlow(7); !errors.Is(err, sched.ErrFlowBusy) {
+		t.Fatalf("remove backlogged flow: %v", err)
+	}
+	got, ok := r.Dequeue()
+	if !ok || got != p {
+		t.Fatalf("Dequeue = %v/%v", got, ok)
+	}
+	acct := r.FlowAccount(7)
+	if acct.Enqueued != 1 || acct.Dequeued != 1 || acct.EnqueuedBytes != 10 || acct.DequeuedBytes != 10 {
+		t.Fatalf("ledger %+v", acct)
+	}
+	if err := r.RemoveFlow(7); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := rt.New("sfq", sched.WithShards(-1)); !errors.Is(err, sched.ErrBadConfig) {
+		t.Fatalf("negative shards: %v", err)
+	}
+	if _, err := rt.New("no-such-discipline"); !errors.Is(err, sched.ErrBadConfig) {
+		t.Fatalf("unknown discipline: %v", err)
+	}
+}
+
+// TestShardedConservation is the differential pin of satellite 4: for every
+// shard count from 1 to GOMAXPROCS, concurrent producers and per-shard
+// consumers hammer the runtime and per-flow byte conservation must hold
+// exactly — every offered byte is queued, shed with a counted refusal, or
+// still in flight, and every queued byte reappears on dequeue. Run under
+// -race this also exercises the lock-free shard-assignment fast path.
+func TestShardedConservation(t *testing.T) {
+	// Cover 1..GOMAXPROCS shards, but always at least 4 — on a small
+	// machine the goroutines time-slice, which still exercises every
+	// cross-shard interleaving the race detector can see.
+	maxShards := runtime.GOMAXPROCS(0)
+	if maxShards < 4 {
+		maxShards = 4
+	}
+	if maxShards > 8 {
+		maxShards = 8
+	}
+	for shards := 1; shards <= maxShards; shards++ {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			t.Parallel()
+			r := mustRuntime(t, "sfq", sched.WithShards(shards), sched.WithClock(rt.WallClock()))
+			const flows = 12
+			perFlow := 400
+			if testing.Short() {
+				perFlow = 100
+			}
+			for f := 0; f < flows; f++ {
+				if err := r.AddFlow(f, float64(1+f%3)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			var sent [flows]int64
+			for f := 0; f < flows; f++ {
+				wg.Add(1)
+				go func(f int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(f)))
+					batch := make([]*sched.Packet, 0, 8)
+					for i := 0; i < perFlow; {
+						batch = batch[:0]
+						n := 1 + rng.Intn(8)
+						if i+n > perFlow {
+							n = perFlow - i
+						}
+						for j := 0; j < n; j++ {
+							batch = append(batch, &sched.Packet{Flow: f, Seq: int64(i + j), Length: float64(1 + rng.Intn(100))})
+						}
+						acc, err := r.EnqueueBatch(batch)
+						if err != nil {
+							t.Errorf("flow %d: batch enqueue: %v", f, err)
+							return
+						}
+						sent[f] += int64(acc)
+						i += n
+					}
+				}(f)
+			}
+			// Per-shard consumers drain concurrently with the producers.
+			done := make(chan struct{})
+			var cg sync.WaitGroup
+			for s := 0; s < shards; s++ {
+				cg.Add(1)
+				go func(s int) {
+					defer cg.Done()
+					buf := make([]*sched.Packet, 16)
+					for {
+						n := r.DequeueBatch(s, buf)
+						if n == 0 {
+							select {
+							case <-done:
+								// Producers finished: one final sweep.
+								for r.DequeueBatch(s, buf) > 0 {
+								}
+								return
+							default:
+							}
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			close(done)
+			cg.Wait()
+			if n := r.Len(); n != 0 {
+				t.Fatalf("%d packets stranded", n)
+			}
+			for f := 0; f < flows; f++ {
+				acct := r.FlowAccount(f)
+				if acct.Enqueued != sent[f] {
+					t.Errorf("flow %d: ledger says %d enqueued, producer sent %d", f, acct.Enqueued, sent[f])
+				}
+				if acct.Enqueued != acct.Dequeued {
+					t.Errorf("flow %d: %d enqueued != %d dequeued with empty queue", f, acct.Enqueued, acct.Dequeued)
+				}
+				if acct.EnqueuedBytes != acct.DequeuedBytes {
+					t.Errorf("flow %d: %v bytes in != %v bytes out", f, acct.EnqueuedBytes, acct.DequeuedBytes)
+				}
+				if acct.Shed != 0 {
+					t.Errorf("flow %d: unexpected sheds %d (no limit set)", f, acct.Shed)
+				}
+			}
+		})
+	}
+}
+
+// TestShedAccounting pins the bounded-queue contract: refusals are loud
+// (ErrShedding) and counted, and offered = enqueued + shed exactly.
+func TestShedAccounting(t *testing.T) {
+	clock := &sched.ManualClock{}
+	r := mustRuntime(t, "sfq", sched.WithClock(clock))
+	r.SetQueueLimit(3)
+	if err := r.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	offered, accepted, shed := 0, 0, 0
+	for i := 0; i < 10; i++ {
+		offered++
+		err := r.Enqueue(&sched.Packet{Flow: 1, Seq: int64(i), Length: 5})
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, sched.ErrShedding):
+			shed++
+		default:
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if accepted != 3 || shed != 7 {
+		t.Fatalf("accepted/shed = %d/%d, want 3/7", accepted, shed)
+	}
+	acct := r.FlowAccount(1)
+	if int(acct.Enqueued) != accepted || int(acct.Shed) != shed {
+		t.Fatalf("ledger %+v disagrees with caller counts %d/%d", acct, accepted, shed)
+	}
+	if acct.ShedBytes != float64(shed)*5 {
+		t.Fatalf("ShedBytes = %v", acct.ShedBytes)
+	}
+	// Draining frees capacity again.
+	if _, ok := r.Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if err := r.Enqueue(&sched.Packet{Flow: 1, Seq: 99, Length: 5}); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+	r.SetQueueLimit(0)
+	if err := r.Enqueue(&sched.Packet{Flow: 1, Seq: 100, Length: 5}); err != nil {
+		t.Fatalf("enqueue after limit removed: %v", err)
+	}
+}
+
+// TestZeroAllocSteadyState pins the data path's allocation budget: with a
+// pool-safe discipline and the caller reusing dequeued packets, batched
+// enqueue/dequeue allocates nothing.
+func TestZeroAllocSteadyState(t *testing.T) {
+	clock := &sched.ManualClock{}
+	r := mustRuntime(t, "sfq", sched.WithClock(clock))
+	for f := 0; f < 4; f++ {
+		if err := r.AddFlow(f, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const batch = 16
+	pkts := make([]*sched.Packet, batch)
+	buf := make([]*sched.Packet, batch)
+	for i := range pkts {
+		pkts[i] = &sched.Packet{Flow: i % 4, Length: 100}
+	}
+	// Warm up once (lazy map/heap growth), then measure.
+	step := func() {
+		clock.Advance(1)
+		if n, err := r.EnqueueBatch(pkts); err != nil || n != batch {
+			t.Fatalf("enqueue batch: n=%d err=%v", n, err)
+		}
+		if n := r.DequeueBatch(0, buf); n != batch {
+			t.Fatalf("dequeue batch: n=%d", n)
+		}
+		copy(pkts, buf)
+	}
+	step()
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Fatalf("steady state allocates %v allocs per batch, want 0", avg)
+	}
+}
+
+func TestMigrateFlow(t *testing.T) {
+	clock := &sched.ManualClock{}
+	r := mustRuntime(t, "sfq", sched.WithShards(4), sched.WithClock(clock))
+	if err := r.AddFlow(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	home := r.ShardOf(1)
+	if got, err := r.FlowShard(1); err != nil || got != home {
+		t.Fatalf("FlowShard = %d/%v, want %d", got, err, home)
+	}
+
+	// Error cases first: bad destination, unknown flow.
+	if err := r.MigrateFlow(1, 99); !errors.Is(err, sched.ErrBadConfig) {
+		t.Fatalf("out-of-range dst: %v", err)
+	}
+	if err := r.MigrateFlow(42, 0); !errors.Is(err, sched.ErrUnknownFlow) {
+		t.Fatalf("unknown flow: %v", err)
+	}
+
+	// Idle migration moves the assignment immediately.
+	dst := (home + 1) % 4
+	if err := r.MigrateFlow(1, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.FlowShard(1); got != dst {
+		t.Fatalf("after idle migrate: shard %d, want %d", got, dst)
+	}
+	if err := r.MigrateFlow(1, dst); err != nil {
+		t.Fatalf("self-migration should be a no-op: %v", err)
+	}
+
+	// Backlogged migration: arrivals switch shards at once, the old shard
+	// drains its backlog and auto-unregisters the flow.
+	clock.Set(1)
+	old := &sched.Packet{Flow: 1, Seq: 0, Length: 10}
+	if err := r.Enqueue(old); err != nil {
+		t.Fatal(err)
+	}
+	dst2 := (dst + 1) % 4
+	if err := r.MigrateFlow(1, dst2); err != nil {
+		t.Fatalf("backlogged migrate: %v", err)
+	}
+	if got, _ := r.FlowShard(1); got != dst2 {
+		t.Fatalf("after backlogged migrate: shard %d, want %d", got, dst2)
+	}
+	fresh := &sched.Packet{Flow: 1, Seq: 1, Length: 20}
+	if err := r.Enqueue(fresh); err != nil {
+		t.Fatal(err)
+	}
+	// Migrating back onto the still-draining source shard is refused.
+	if err := r.MigrateFlow(1, dst); !errors.Is(err, sched.ErrFlowDraining) {
+		t.Fatalf("migrate onto draining shard: %v", err)
+	}
+	if p, ok := r.DequeueShard(dst); !ok || p != old {
+		t.Fatalf("old shard backlog: %v/%v", p, ok)
+	}
+	if p, ok := r.DequeueShard(dst2); !ok || p != fresh {
+		t.Fatalf("new shard arrival: %v/%v", p, ok)
+	}
+	// Drained now: the old shard accepted the flow back.
+	if err := r.MigrateFlow(1, dst); err != nil {
+		t.Fatalf("migrate after drain: %v", err)
+	}
+	// Conservation held across the migration.
+	acct := r.FlowAccount(1)
+	if acct.Enqueued != 2 || acct.Dequeued != 2 || acct.EnqueuedBytes != 30 || acct.DequeuedBytes != 30 {
+		t.Fatalf("ledger across migration %+v", acct)
+	}
+}
+
+func TestRuntimeClose(t *testing.T) {
+	clock := &sched.ManualClock{}
+	r := mustRuntime(t, "sfq", sched.WithClock(clock))
+	if err := r.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Enqueue(&sched.Packet{Flow: 1, Length: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if err := r.Enqueue(&sched.Packet{Flow: 1, Length: 10}); !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("enqueue after close: %v", err)
+	}
+	if err := r.AddFlow(2, 1); !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("add flow after close: %v", err)
+	}
+	if err := r.MigrateFlow(1, 0); !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("migrate after close: %v", err)
+	}
+	// The backlog stays dequeueable so workers drain it.
+	if _, ok := r.Dequeue(); !ok {
+		t.Fatal("backlog not dequeueable after close")
+	}
+	if err := r.Close(); !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestRuntimeMonotoneClock pins the clamp: a clock that jumps backwards
+// (NTP step, coarse timer) must never surface ErrTimeWentBack from the
+// disciplines — the shard clamps time monotone instead.
+func TestRuntimeMonotoneClock(t *testing.T) {
+	clock := &sched.ManualClock{}
+	r := mustRuntime(t, "sfq", sched.WithClock(clock))
+	if err := r.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	clock.Set(10)
+	if err := r.Enqueue(&sched.Packet{Flow: 1, Seq: 0, Length: 1}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Set(3) // time goes backwards
+	p := &sched.Packet{Flow: 1, Seq: 1, Length: 1}
+	if err := r.Enqueue(p); err != nil {
+		t.Fatalf("enqueue after clock regression: %v", err)
+	}
+	if p.Arrival != 10 {
+		t.Fatalf("Arrival = %v, want clamped 10", p.Arrival)
+	}
+	if _, ok := r.Dequeue(); !ok {
+		t.Fatal("dequeue after clock regression")
+	}
+}
+
+func TestEnqueueBatchPartialFailure(t *testing.T) {
+	clock := &sched.ManualClock{}
+	r := mustRuntime(t, "sfq", sched.WithShards(2), sched.WithClock(clock))
+	if err := r.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	batch := []*sched.Packet{
+		{Flow: 1, Seq: 0, Length: 5},
+		{Flow: 9, Seq: 0, Length: 5}, // never registered
+		{Flow: 1, Seq: 1, Length: 5},
+	}
+	n, err := r.EnqueueBatch(batch)
+	if n != 2 {
+		t.Fatalf("accepted %d, want 2 (failure mid-batch must not discard the rest)", n)
+	}
+	if !errors.Is(err, sched.ErrUnknownFlow) {
+		t.Fatalf("first error: %v", err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}

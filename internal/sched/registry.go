@@ -45,6 +45,20 @@ type Config struct {
 	// highest priority first. Disciplines that are not compositions ignore
 	// it.
 	Levels []Interface
+
+	// Clock selects runtime-driven construction: when non-nil, New hands
+	// the build to the registered runtime builder (internal/rt), which
+	// wraps the discipline in a goroutine-safe driver that reads "now"
+	// from this clock instead of trusting the caller's argument. Nil (the
+	// default) builds the bare discipline for simulator-driven use.
+	Clock Clock
+
+	// Shards is the number of per-core scheduler instances the runtime
+	// builder creates, with flows hashed across them. 0 means unsharded
+	// (equivalent to 1). Sharding only makes sense runtime-driven, so
+	// Shards > 1 without a Clock is rejected with ErrBadConfig, as is a
+	// negative count.
+	Shards int
 }
 
 // DefaultQuantum is the DRR quantum per unit weight used when Config.Quantum
@@ -66,6 +80,15 @@ func WithTieBreak(t TieBreak) Option { return func(cfg *Config) { cfg.Tie = t } 
 
 // WithLevels sets the children of a priority composition, highest first.
 func WithLevels(levels ...Interface) Option { return func(cfg *Config) { cfg.Levels = levels } }
+
+// WithClock selects runtime-driven construction reading time from c (see
+// Config.Clock). Requires internal/rt to be imported so the runtime
+// builder is registered.
+func WithClock(c Clock) Option { return func(cfg *Config) { cfg.Clock = c } }
+
+// WithShards sets the number of hashed per-core shards for runtime-driven
+// construction (see Config.Shards).
+func WithShards(n int) Option { return func(cfg *Config) { cfg.Shards = n } }
 
 // Factory constructs a scheduler from a Config. Factories validate the
 // fields they consume and return an error (never panic) on a bad Config.
@@ -98,21 +121,84 @@ func Register(name string, f Factory, aliases ...string) {
 	}
 }
 
-// New constructs the named discipline with the given options applied to a
-// zero Config. The name must have been registered (internal/core registers
-// the SFQ family from its init, so callers constructing "sfq"/"hsfq"/...
-// must import internal/core, directly or transitively).
-func New(name string, opts ...Option) (Interface, error) {
-	registry.RLock()
-	f, ok := registry.m[name]
-	registry.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("sched: unknown scheduler %q (known: %v)", name, Names())
+// RuntimeBuilder constructs a runtime-driven scheduler: a goroutine-safe
+// Interface wrapping cfg.Shards instances of the named discipline, driven
+// by cfg.Clock. internal/rt registers the only implementation from its
+// init; the indirection keeps sched free of any dependency on the runtime
+// while letting one registry name construct either flavor.
+type RuntimeBuilder func(name string, cfg Config) (Interface, error)
+
+var runtimeBuilder RuntimeBuilder
+
+// RegisterRuntimeBuilder installs the runtime builder New delegates to
+// when a Config carries a Clock or Shards. Calling it twice panics, like a
+// duplicate discipline registration.
+func RegisterRuntimeBuilder(b RuntimeBuilder) {
+	if b == nil {
+		panic("sched: RegisterRuntimeBuilder with nil builder")
 	}
+	registry.Lock()
+	defer registry.Unlock()
+	if runtimeBuilder != nil {
+		panic("sched: duplicate runtime builder registration")
+	}
+	runtimeBuilder = b
+}
+
+// BuildConfig applies opts to a zero Config. Runtime builders use it to
+// read the Clock/Shards the caller asked for before constructing the
+// per-shard disciplines.
+func BuildConfig(opts ...Option) Config {
 	var cfg Config
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	return cfg
+}
+
+// New constructs the named discipline with the given options applied to a
+// zero Config. The name must have been registered (internal/core registers
+// the SFQ family from its init, so callers constructing "sfq"/"hsfq"/...
+// must import internal/core, directly or transitively); unknown names are
+// an ErrBadConfig, so misconfiguration is one errors.Is check regardless
+// of which field was wrong.
+//
+// A Config with a Clock (or Shards > 1) selects runtime-driven
+// construction: the same name then yields a goroutine-safe wall-clock
+// instance built by internal/rt instead of a bare simulator-driven one.
+// Nonsensical combinations — negative shards, sharding without a clock, a
+// clock without the runtime package imported — fail with ErrBadConfig.
+func New(name string, opts ...Option) (Interface, error) {
+	cfg := BuildConfig(opts...)
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w: new %q: negative shard count %d", ErrBadConfig, name, cfg.Shards)
+	}
+	if cfg.Shards > 1 && cfg.Clock == nil {
+		return nil, fmt.Errorf("%w: new %q: %d shards without a clock (sharding is a runtime construct; use WithClock)", ErrBadConfig, name, cfg.Shards)
+	}
+	if cfg.Clock != nil || cfg.Shards > 1 {
+		registry.RLock()
+		b := runtimeBuilder
+		registry.RUnlock()
+		if b == nil {
+			return nil, fmt.Errorf("%w: new %q: runtime-driven construction requires importing internal/rt", ErrBadConfig, name)
+		}
+		return b(name, cfg)
+	}
+	return NewDiscipline(name, cfg)
+}
+
+// NewDiscipline constructs the bare named discipline from an explicit
+// Config, ignoring its Clock/Shards fields — the path runtime builders use
+// for each shard (going through New would recurse into the builder).
+func NewDiscipline(name string, cfg Config) (Interface, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown scheduler %q (known: %v)", ErrBadConfig, name, Names())
+	}
+	cfg.Clock, cfg.Shards = nil, 0
 	s, err := f(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("sched: new %q: %w", name, err)

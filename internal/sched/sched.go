@@ -81,7 +81,13 @@ type Interface interface {
 	QueuedBytes(flow int) float64
 }
 
-// Common errors.
+// Common errors. Together with ErrFlowDraining (reconfig.go),
+// ErrNoCapacityKnob (reconfig.go), and ErrBadState (snapshot.go) these
+// sentinels are the complete error vocabulary of the scheduling packages:
+// every contract-path failure in sched, internal/core, internal/pifo,
+// internal/liveops, and internal/rt wraps exactly one of them, so callers
+// branch with errors.Is instead of string matching (TestErrorVocabulary in
+// internal/rt pins this across the packages).
 var (
 	ErrUnknownFlow  = errors.New("sched: unknown flow")
 	ErrFlowBusy     = errors.New("sched: flow has queued packets")
@@ -89,6 +95,17 @@ var (
 	ErrBadPacket    = errors.New("sched: packet length must be positive")
 	ErrTimeWentBack = errors.New("sched: time went backwards")
 	ErrBadConfig    = errors.New("sched: bad scheduler config")
+
+	// ErrShedding rejects work the data path refuses to queue — a bounded
+	// runtime queue is full, or an admission facade is over its backlog
+	// cap. Shedding is backpressure, not failure: the request was never
+	// accepted, so conservation audits count it on the "refused" side.
+	ErrShedding = errors.New("sched: overloaded, request shed")
+
+	// ErrClosed rejects operations on a component that has been shut
+	// down. Closing is one-way: a closed runtime drains but accepts
+	// nothing new.
+	ErrClosed = errors.New("sched: closed")
 )
 
 // FlowTable is the flow registry shared by the schedulers in this

@@ -80,7 +80,14 @@ func (fn ConsumerFunc) Deliver(f *Frame) { fn(f) }
 type Link struct {
 	Name string
 
-	q     *eventq.Queue
+	q *eventq.Queue
+	// clock is the link's time source — the same sched.Clock abstraction
+	// the wall-clock runtime (internal/rt) drives its shards with. For a
+	// simulated link it IS the event queue (eventq.Queue.Now is the
+	// virtual clock), so the scheduler-facing code below reads time the
+	// way any runtime driver would, and the disciplines cannot tell a
+	// simulation from production.
+	clock sched.Clock
 	sched sched.Interface
 	proc  server.Process
 	out   Consumer
@@ -182,7 +189,7 @@ func NewLink(q *eventq.Queue, name string, sch sched.Interface, proc server.Proc
 		panic("sim: NewLink requires all of queue, scheduler, process, consumer")
 	}
 	return &Link{
-		Name: name, q: q, sched: sch, proc: proc, out: out,
+		Name: name, q: q, clock: q, sched: sch, proc: proc, out: out,
 		seq:        make(map[int]int64),
 		dropsCause: make(map[DropCause]int64),
 		dropsFlow:  make(map[int]int64),
@@ -194,10 +201,13 @@ func NewLink(q *eventq.Queue, name string, sch sched.Interface, proc server.Proc
 // Scheduler returns the link's scheduler (for flow registration).
 func (l *Link) Scheduler() sched.Interface { return l.sched }
 
-// Now returns the current simulated time of the link's event queue, so
-// observers attached via hooks (which don't all receive a timestamp) can
-// timestamp what they see.
-func (l *Link) Now() float64 { return l.q.Now() }
+// Now returns the current time of the link's clock (the event queue's
+// virtual time), so observers attached via hooks (which don't all receive
+// a timestamp) can timestamp what they see.
+func (l *Link) Now() float64 { return l.clock.Now() }
+
+// Clock returns the link's time source.
+func (l *Link) Clock() sched.Clock { return l.clock }
 
 // SetProbe installs (or, with nil, removes) the scheduler probe. The probe
 // observes every accepted enqueue, every dequeue, and — for schedulers that
@@ -290,7 +300,7 @@ func (l *Link) drop(f *Frame, cause DropCause) {
 // if a buffer is full or the scheduler rejects it. Arrivals during a link
 // failure queue normally and wait for recovery.
 func (l *Link) Deliver(f *Frame) {
-	now := l.q.Now()
+	now := l.clock.Now()
 	if l.BufferBytes > 0 && l.QueuedBytes()+f.Bytes > l.BufferBytes {
 		l.drop(f, DropBufferFull)
 		return
@@ -395,7 +405,7 @@ func (l *Link) ForgetFlow(flow int) {
 // wedging the simulation.
 func (l *Link) startNext() {
 	for {
-		now := l.q.Now()
+		now := l.clock.Now()
 		p, ok := l.sched.Dequeue(now)
 		if !ok {
 			l.busy = false
