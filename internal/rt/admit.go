@@ -45,7 +45,10 @@ type AdmitterConfig struct {
 	Limit int
 
 	// MaxQueued bounds the requests waiting for a seat; a Submit beyond
-	// the bound sheds with ErrShedding. 0 means unbounded.
+	// the bound sheds with ErrShedding. 0 means unbounded. Canceled
+	// requests keep their slot until dispatch pops them (see Ticket.Wait),
+	// so under long seat holds a cancel storm can fill the bound with dead
+	// tickets — size MaxQueued for that worst case.
 	MaxQueued int
 
 	// Controller, when non-nil, is the reservation controller AdmitFlow /
@@ -61,7 +64,7 @@ type Ticket struct {
 	flow  int
 	cost  float64
 	state atomic.Int32
-	seq   int64 // dispatch order, assigned at dispatch
+	seq   atomic.Int64 // dispatch order, assigned at dispatch
 	ready chan struct{}
 }
 
@@ -87,7 +90,10 @@ func NewAdmitter(cfg AdmitterConfig) (*Admitter, error) {
 }
 
 // Runtime returns the underlying fair-queue runtime (e.g. to attach an
-// obs probe or read FlowAccount ledgers).
+// obs probe or read FlowAccount ledgers). Observe-only access: the
+// admitter owns the queue's contents, and a packet enqueued on the
+// runtime directly — rather than through Submit — is drained and
+// discarded by dispatch, which only executes Ticket-carrying packets.
 func (a *Admitter) Runtime() *Runtime { return a.rt }
 
 // AdmitFlow admits a flow end to end: through the reservation controller
@@ -215,20 +221,28 @@ func (a *Admitter) Close() error {
 // dispatchLocked fills free seats from the fair queue. Canceled tickets
 // pop and vanish without consuming a seat (their cost was charged to the
 // flow's virtual time when queued — the price of O(1) cancellation in a
-// tag-ordered queue; see DESIGN.md §16).
+// tag-ordered queue; see DESIGN.md §16). Until this pop they also keep
+// occupying their queue slot: cancellation never compacts the queue, so a
+// canceled ticket counts against MaxQueued and its flow's QueuedBytes
+// until a seat frees and dispatch reaches it. Packets enqueued on the
+// runtime directly (not via Submit) carry no Ticket; dispatch drains and
+// discards them — see Runtime.
 func (a *Admitter) dispatchLocked() {
 	for a.executing < a.limit && a.queued > 0 {
 		p, ok := a.rt.Dequeue()
 		if !ok {
 			return
 		}
+		t, isTicket := p.Payload.(*Ticket)
+		if !isTicket {
+			continue // foreign packet: no seat, no queued slot to release
+		}
 		a.queued--
-		t := p.Payload.(*Ticket)
 		if !t.state.CompareAndSwap(tQueued, tDispatched) {
 			continue // canceled while waiting
 		}
 		a.seq++
-		t.seq = a.seq
+		t.seq.Store(a.seq)
 		a.executing++
 		close(t.ready)
 	}
@@ -236,7 +250,11 @@ func (a *Admitter) dispatchLocked() {
 
 // Wait blocks until the ticket is dispatched or ctx expires. On expiry
 // the ticket is canceled if still queued; if dispatch won the race the
-// seat is released again, so no capacity leaks.
+// seat is released again, so no capacity leaks. Cancellation is O(1) and
+// leaves the dead ticket in the fair queue: its cost stays charged to the
+// flow's virtual time, and it keeps its MaxQueued slot and its flow's
+// QueuedBytes (so ReleaseFlow reports ErrFlowBusy) until a free seat lets
+// dispatch pop past it.
 func (t *Ticket) Wait(ctx context.Context) error {
 	select {
 	case <-t.ready:
@@ -261,7 +279,7 @@ func (t *Ticket) Cost() float64 { return t.cost }
 
 // Seq returns the dispatch sequence number (1-based, total order across
 // the admitter), or 0 if not dispatched yet.
-func (t *Ticket) Seq() int64 { return t.seq }
+func (t *Ticket) Seq() int64 { return t.seq.Load() }
 
 // Running reports whether the ticket currently holds a seat.
 func (t *Ticket) Running() bool { return t.state.Load() == tDispatched }

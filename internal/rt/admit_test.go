@@ -239,6 +239,61 @@ func TestAdmitterClose(t *testing.T) {
 	}
 }
 
+// TestAdmitterForeignPackets pins the checked dispatch assertion: a packet
+// enqueued on the runtime directly (not through Submit) must not panic
+// dispatch — it is drained and discarded — and the request behind it still
+// dispatches. Seq is polled concurrently with dispatch to pin its
+// atomicity under -race.
+func TestAdmitterForeignPackets(t *testing.T) {
+	clock := &sched.ManualClock{}
+	a := newAdmitter(t, rt.AdmitterConfig{Limit: 1}, sched.WithClock(clock))
+	if err := a.AdmitFlow(admission.Request{Flow: 1, Rate: 1, LMax: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetLimit(0); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign packet sneaks in ahead of the real request.
+	if err := a.Runtime().Enqueue(&sched.Packet{Flow: 1, Length: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := a.Submit(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = tk.Seq()
+			}
+		}
+	}()
+	if err := a.SetLimit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if tk.Seq() != 1 {
+		t.Fatalf("Seq = %d, want 1", tk.Seq())
+	}
+	if err := tk.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Executing() != 0 || a.Queued() != 0 {
+		t.Fatalf("executing/queued = %d/%d after drain", a.Executing(), a.Queued())
+	}
+}
+
 // TestAdmitterController runs the control plane end to end: Theorem-style
 // reservation checks gate AdmitFlow, refusals pass through unchanged, and
 // DelayBound reports the admitted flow's Theorem-4 term.

@@ -394,26 +394,53 @@ func (r *Runtime) Enqueue(p *sched.Packet) error {
 	return err
 }
 
+// batchResolveStack bounds the stack-allocated flow-entry scratch in
+// EnqueueBatch; larger batches fall back to a heap slice. It matches the
+// benchmark batch size so the zero-alloc steady state holds.
+const batchResolveStack = 64
+
 // EnqueueBatch queues every packet it can, holding each shard's lock for
 // runs of consecutive same-shard packets (callers batching per flow or per
 // shard pay one lock per batch). It returns the number of packets
 // accepted and the first error encountered; later packets are still
 // attempted, so a single shed mid-batch does not discard the rest.
 func (r *Runtime) EnqueueBatch(ps []*sched.Packet) (int, error) {
+	// Resolve every packet's flow entry up front, under one read-lock
+	// acquisition for the whole batch. Resolving inside the shard-locked
+	// loop below would hold a shard mutex while waiting on r.mu — the
+	// reverse of the AddFlow/RemoveFlow/MigrateFlow order (r.mu, then
+	// shard mutexes) — and deadlock against a concurrent flow-table
+	// writer. No shard lock is held anywhere in this pass.
+	var stack [batchResolveStack]*flowEntry
+	entries := stack[:]
+	if len(ps) > len(entries) {
+		entries = make([]*flowEntry, len(ps))
+	} else {
+		entries = entries[:len(ps)]
+	}
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		return 0, fmt.Errorf("%w: runtime", sched.ErrClosed)
+	}
+	for i, p := range ps {
+		entries[i] = r.flows[p.Flow]
+	}
+	r.mu.RUnlock()
+
 	n := 0
 	var firstErr error
 	var sh *shard
 	cur := -1
-	for _, p := range ps {
-		e, err := r.resolve(p.Flow)
-		if err != nil {
+	for i, p := range ps {
+		e := entries[i]
+		if e == nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = fmt.Errorf("%w: %d", sched.ErrUnknownFlow, p.Flow)
 			}
 			continue
 		}
-		s := int(e.shard.Load())
-		if s != cur || sh == nil {
+		if s := int(e.shard.Load()); s != cur || sh == nil {
 			if sh != nil {
 				sh.mu.Unlock()
 				sh = nil

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	_ "repro/internal/core"
 	"repro/internal/rt"
@@ -345,6 +346,9 @@ func TestRuntimeClose(t *testing.T) {
 	if err := r.Enqueue(&sched.Packet{Flow: 1, Length: 10}); !errors.Is(err, sched.ErrClosed) {
 		t.Fatalf("enqueue after close: %v", err)
 	}
+	if n, err := r.EnqueueBatch([]*sched.Packet{{Flow: 1, Length: 10}}); n != 0 || !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("batch enqueue after close: n=%d err=%v", n, err)
+	}
 	if err := r.AddFlow(2, 1); !errors.Is(err, sched.ErrClosed) {
 		t.Fatalf("add flow after close: %v", err)
 	}
@@ -406,5 +410,88 @@ func TestEnqueueBatchPartialFailure(t *testing.T) {
 	}
 	if r.Len() != 2 {
 		t.Fatalf("Len = %d", r.Len())
+	}
+	// A batch larger than the stack scratch takes the heap-resolve path.
+	big := make([]*sched.Packet, 129)
+	for i := range big {
+		big[i] = &sched.Packet{Flow: 1, Seq: int64(i + 2), Length: 1}
+	}
+	if n, err := r.EnqueueBatch(big); err != nil || n != len(big) {
+		t.Fatalf("large batch: n=%d err=%v", n, err)
+	}
+}
+
+// TestEnqueueBatchConcurrentFlowTableWriters is the lock-order regression
+// pin: EnqueueBatch must never hold a shard mutex while waiting on the
+// flow-table lock, or it deadlocks against AddFlow/RemoveFlow/MigrateFlow
+// (which take the table lock first, then shard mutexes). Producers push
+// batches spanning all shards — so a shard lock is held between
+// consecutive packets — while writers churn the flow table; a watchdog
+// fails loudly with stacks instead of hanging the suite if the inversion
+// ever comes back.
+func TestEnqueueBatchConcurrentFlowTableWriters(t *testing.T) {
+	r := mustRuntime(t, "sfq", sched.WithShards(4), sched.WithClock(rt.WallClock()))
+	const flows = 8
+	for f := 0; f < flows; f++ {
+		if err := r.AddFlow(f, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetQueueLimit(1 << 14)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]*sched.Packet, 2*flows)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch := make([]*sched.Packet, flows)
+				for f := range batch {
+					batch[f] = &sched.Packet{Flow: f, Length: 1}
+				}
+				_, _ = r.EnqueueBatch(batch)
+				for s := 0; s < r.Shards(); s++ {
+					r.DequeueBatch(s, buf)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.MigrateFlow(i%flows, i%r.Shards())
+			extra := flows + i%4
+			_ = r.AddFlow(extra, 1)
+			_ = r.RemoveFlow(extra)
+		}
+	}()
+	dur := 300 * time.Millisecond
+	if testing.Short() {
+		dur = 50 * time.Millisecond
+	}
+	time.Sleep(dur)
+	close(stop)
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("deadlock: EnqueueBatch vs flow-table writers\n%s", buf[:runtime.Stack(buf, true)])
 	}
 }
