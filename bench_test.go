@@ -282,6 +282,26 @@ func BenchmarkHSFQDepth(b *testing.B) {
 	}
 }
 
+// BenchmarkHierTree measures the generic composition layer's steady-state
+// cost: an SFQ root over DRR and EDD sinks (real packets live in the sink
+// disciplines, the root schedules the sinks), and a tree of PIFOs (the
+// root is itself a discipline scheduling pseudo-packets). Both must stay
+// allocation-free: sink packets recycle through the shared pool and
+// interior pseudo-packets through the tree's free list (the benchdiff
+// allocs gate enforces this).
+func BenchmarkHierTree(b *testing.B) {
+	for _, tc := range []struct{ name, spec string }{
+		{"sfq-drr-edd", "hier:sfq(drr,edd)"},
+		{"pifo-of-pifos", "hier:pifo-sfq(pifo-sfq,pifo-sfq)"},
+	} {
+		for _, q := range []int{16, 256} {
+			b.Run(fmt.Sprintf("%s/Q=%d", tc.name, q), func(b *testing.B) {
+				benchScheduler(b, func() sched.Interface { return sched.MustNew(tc.spec) }, q)
+			})
+		}
+	}
+}
+
 // BenchmarkGPSSimulation isolates the cost WFQ pays for the fluid
 // reference system as flow count grows.
 func BenchmarkGPSSimulation(b *testing.B) {

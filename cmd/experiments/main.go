@@ -7,7 +7,7 @@
 // With no ids it runs everything in paper order. Available ids:
 //
 //	table1 example1 example2 fig1b fig2a fig2b fig3b scfqdelay wfqdelta
-//	example3 delayshift residual e2ebound ebftail genrate bounds ablation-tie ablation-clock ablation-hier chaos ups-replay liveops
+//	example3 delayshift residual e2ebound ebftail genrate bounds ablation-tie ablation-clock ablation-hier chaos ups-replay liveops composed-tree
 //
 // -scale shrinks or grows the simulated durations/budgets (1.0 = the
 // paper's parameters); -seed sets the RNG seed for the stochastic
@@ -93,11 +93,13 @@ func runnerTable(scale float64, seed int64) (map[string]func() *experiments.Resu
 		"chaos":          func() *experiments.Result { return experiments.FaultContrast(seed) },
 		"ups-replay":     func() *experiments.Result { return experiments.UPSReplay(seed) },
 		"liveops":        func() *experiments.Result { return experiments.LiveOps(seed) },
+		"composed-tree":  func() *experiments.Result { return experiments.ComposedTree(seed) },
 	}
 	order := []string{"table1", "example1", "example2", "fig1b", "fig2a",
 		"fig2b", "fig3b", "scfqdelay", "wfqdelta", "example3", "delayshift",
 		"residual", "e2ebound", "ebftail", "genrate", "bounds",
-		"ablation-tie", "ablation-clock", "ablation-hier", "chaos", "ups-replay", "liveops"}
+		"ablation-tie", "ablation-clock", "ablation-hier", "chaos", "ups-replay",
+		"liveops", "composed-tree"}
 	return runners, order
 }
 

@@ -137,11 +137,29 @@ func main() {
 	)
 	var setWeights weightEvents
 	flag.Var(&setWeights, "set-weight", "live weight change as flow:weight@time (repeatable)")
+	listScheds := flag.Bool("list-scheds", false, "print the registered scheduler names, one per line, and exit")
 	flag.Parse()
 
+	if *listScheds {
+		for _, n := range sched.Names() { // Names() is sorted
+			fmt.Println(n)
+		}
+		return
+	}
 	if *schedName == "help" {
 		fmt.Println("registered schedulers:", strings.Join(sched.Names(), " "))
 		return
+	}
+	// Reject unknown names before touching any other flag, with the full
+	// sorted list — a typo should not surface as a mid-setup error. Known
+	// covers the registry map plus the open-ended families ("hier:<spec>"),
+	// which is why this is not a Names() membership test.
+	if !sched.Known(*schedName) {
+		fmt.Fprintf(os.Stderr, "sfqsim: unknown scheduler %q; registered schedulers:\n", *schedName)
+		for _, n := range sched.Names() {
+			fmt.Fprintln(os.Stderr, "  "+n)
+		}
+		os.Exit(2)
 	}
 
 	linkRate := units.Mbps(*rateMbps)

@@ -2,11 +2,84 @@ package main
 
 import (
 	"math/rand"
+	"os"
+	"os/exec"
+	"reflect"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/sched"
 	"repro/internal/topo"
 )
+
+// TestMain lets the CLI-level tests re-exec this test binary as sfqsim
+// itself: with SFQSIM_RUN_MAIN set, the process runs main() on its
+// arguments instead of the test harness.
+func TestMain(m *testing.M) {
+	if os.Getenv("SFQSIM_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI invokes sfqsim with args and returns stdout, stderr, exit code.
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SFQSIM_RUN_MAIN=1")
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// TestListSchedsCLI pins -list-scheds: the full sorted registry, one name
+// per line, exit 0.
+func TestListSchedsCLI(t *testing.T) {
+	stdout, _, code := runCLI(t, "-list-scheds")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	got := strings.Fields(stdout)
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("names not sorted: %v", got)
+	}
+	if want := sched.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("-list-scheds = %v, want %v", got, want)
+	}
+}
+
+// TestUnknownSchedCLI pins the unknown -sched rejection: exit 2, and the
+// stderr message names the typo and carries the sorted registry so the
+// user can pick without a second invocation.
+func TestUnknownSchedCLI(t *testing.T) {
+	_, stderr, code := runCLI(t, "-sched", "sqf", "-dur", "0.01")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, `unknown scheduler "sqf"`) {
+		t.Errorf("stderr does not name the bad scheduler: %s", stderr)
+	}
+	names := sched.Names()
+	for _, probe := range []string{names[0], names[len(names)-1], "hsfq"} {
+		if !strings.Contains(stderr, probe) {
+			t.Errorf("stderr is missing registered name %q: %s", probe, stderr)
+		}
+	}
+	// Open-ended composed names are accepted even though they cannot be
+	// enumerated: "hier:<spec>" resolves through the registry fallback.
+	if _, stderr, code := runCLI(t, "-sched", "hier:sfq(drr,edd)", "-dur", "0.01"); code != 0 {
+		t.Errorf("hier:<spec> rejected (exit %d): %s", code, stderr)
+	}
+}
 
 func TestParseWeights(t *testing.T) {
 	ws, err := parseWeights("", 3)

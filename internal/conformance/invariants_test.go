@@ -235,6 +235,23 @@ func suts() []sut {
 			kinds: allKinds, aggFIFO: true,
 			tagName: "deadline", tagKey: deadlineTag,
 		},
+		// Composed trees (internal/hier): heterogeneous disciplines at the
+		// nodes, flows routed across the sinks. Only the generic invariants
+		// apply — each sink runs its own virtual clock, so no tag is
+		// globally monotone across the merged dequeue sequence (per-flow
+		// monotonicity is pinned by the tagMonoSpecs).
+		{
+			name: "hier:sfq(drr,edd)", make: mk("hier:sfq(drr,edd)"),
+			kinds: allKinds,
+		},
+		{
+			name: "hier:sfq(edd,scfq,drr,fifo)", make: mk("hier:sfq(edd,scfq,drr,fifo)"),
+			kinds: allKinds,
+		},
+		{
+			name: "hier:pifo-sfq(pifo-sfq,pifo-sfq)", make: mk("hier:pifo-sfq(pifo-sfq,pifo-sfq)"),
+			kinds: allKinds,
+		},
 	}
 }
 

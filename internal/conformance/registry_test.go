@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/hier"
 	"repro/internal/obs"
 	"repro/internal/pifo"
 	"repro/internal/sched"
@@ -64,6 +65,15 @@ func directConstructors() map[string]func(w Workload) sched.Interface {
 		"lstf":  func(Workload) sched.Interface { return pifo.MustNew(pifo.LSTF(), sched.Config{}) },
 		"srpt":  func(Workload) sched.Interface { return pifo.MustNew(pifo.SRPT(), sched.Config{}) },
 		"fifo+": func(Workload) sched.Interface { return pifo.MustNew(pifo.FIFOPlus(), sched.Config{}) },
+		"hier:sfq(drr,edd)": func(Workload) sched.Interface {
+			return hier.MustNew("sfq(drr,edd)", sched.Config{})
+		},
+		"hier:sfq(edd,scfq,drr,fifo)": func(Workload) sched.Interface {
+			return hier.MustNew("sfq(edd,scfq,drr,fifo)", sched.Config{})
+		},
+		"hier:pifo-sfq(pifo-sfq,pifo-sfq)": func(Workload) sched.Interface {
+			return hier.MustNew("pifo-sfq(pifo-sfq,pifo-sfq)", sched.Config{})
+		},
 	}
 }
 
@@ -90,9 +100,12 @@ func registryConstructors() map[string]func(w Workload) sched.Interface {
 		"pifo-wfq": func(w Workload) sched.Interface {
 			return sched.MustNew("pifo-wfq", sched.WithAssumedCapacity(w.C))
 		},
-		"lstf":  mk("lstf"),
-		"srpt":  mk("srpt"),
-		"fifo+": mk("fifo+"),
+		"lstf":                             mk("lstf"),
+		"srpt":                             mk("srpt"),
+		"fifo+":                            mk("fifo+"),
+		"hier:sfq(drr,edd)":                mk("hier:sfq(drr,edd)"),
+		"hier:sfq(edd,scfq,drr,fifo)":      mk("hier:sfq(edd,scfq,drr,fifo)"),
+		"hier:pifo-sfq(pifo-sfq,pifo-sfq)": mk("hier:pifo-sfq(pifo-sfq,pifo-sfq)"),
 	}
 }
 

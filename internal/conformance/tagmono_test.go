@@ -55,6 +55,15 @@ func tagMonoSpecs() map[string]tagMonoSpec {
 		"lstf":  {"deadline", deadlineTag},
 		"srpt":  {"deadline", deadlineTag},
 		"fifo+": {"deadline", deadlineTag},
+		// Composed trees: a flow is routed to exactly one sink, whose
+		// discipline stamps the real packets (interior nodes tag only their
+		// pseudo-packets). EDD sinks stamp increasing deadlines; sinks that
+		// stamp no deadline leave the field a constant zero, which is
+		// trivially nondecreasing. The all-PIFO tree's sinks are PIFO-SFQ,
+		// so the eq (4) start-tag recurrence holds per flow within a sink.
+		"hier:sfq(drr,edd)":                {"deadline", deadlineTag},
+		"hier:sfq(edd,scfq,drr,fifo)":      {"deadline", deadlineTag},
+		"hier:pifo-sfq(pifo-sfq,pifo-sfq)": {"start tag", startTag},
 	}
 }
 

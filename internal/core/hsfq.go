@@ -1,11 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"math"
-
-	"repro/internal/sched"
-)
+import "repro/internal/hier"
 
 // HSFQ is the hierarchical SFQ scheduler of Section 3. The link-sharing
 // structure is a tree of classes; every interior class runs SFQ treating
@@ -27,425 +22,20 @@ import (
 // eq (5) holds exactly for every scheduled packet even when the subtree's
 // head changes between tag assignment and service.
 //
+// HSFQ is the SFQ-of-SFQs instance of the generic scheduler-tree layer:
+// it aliases hier.Tree, whose native SFQ interiors carry this exact
+// algebra, and gains the layer's wider vocabulary (NewDiscClass /
+// NewSinkClass put any registered discipline at a node — see
+// internal/hier). The pop order of SFQ-only trees is bit-identical to the
+// pre-hier hand-written implementation.
+//
 // HSFQ implements sched.Interface; AddFlow attaches flows directly under
 // the root. Use NewClass/AddFlowTo to build deeper structures.
-type HSFQ struct {
-	root    *Class
-	leaves  map[int]*Class // flow id -> leaf class
-	bytes   map[int]float64
-	total   int
-	last    float64
-	busy    bool // a packet is in service at the link
-	classes int  // id generator for interior nodes
-	chunks  sched.ChunkPool
-	seq     uint64 // leaf FIFO push serial (assert bookkeeping only)
+type HSFQ = hier.Tree
 
-	draining sched.DrainSet
-}
-
-// Class is a node in the link-sharing tree. Interior classes aggregate
-// subclasses; leaf classes hold one flow's packet FIFO.
-type Class struct {
-	name   string
-	weight float64
-	parent *Class
-	flow   int // valid when leaf
-	leaf   bool
-
-	// State as a child of parent.
-	active     bool
-	curStart   float64 // start tag of the head logical packet, valid when active
-	lastFinish float64 // finish tag of the last logical packet scheduled at the parent
-	heapIdx    int
-	serial     uint64
-
-	// State as an interior node (SFQ over children).
-	children  []*Class
-	childHeap childHeap
-	v         float64
-	maxFinish float64
-	serialSrc uint64
-
-	// State as a leaf: the flow's packet FIFO, chunked over the tree's
-	// shared pool. Leaf order is pure FIFO, so the FlowQ keys are just the
-	// tree-wide push serial (which also keeps the schedassert monotonicity
-	// check meaningful).
-	fifo sched.FlowQ
-
-	// State as a delegate: a class whose internal service order is
-	// decided by its own scheduler (e.g. Delay EDD) while SFQ decides
-	// when the class as a whole is served (§3: "different resource
-	// allocation methods for different services").
-	inner sched.Interface
-}
-
-// Name returns the class name.
-func (c *Class) Name() string { return c.name }
-
-// Weight returns the class weight.
-func (c *Class) Weight() float64 { return c.weight }
+// Class is a node in the link-sharing tree (hier.Node). Interior classes
+// aggregate subclasses; leaf classes hold one flow's packet FIFO.
+type Class = hier.Node
 
 // NewHSFQ returns a scheduler whose root class represents the whole link.
-func NewHSFQ() *HSFQ {
-	return &HSFQ{
-		root:   &Class{name: "root", weight: 1, heapIdx: -1},
-		leaves: make(map[int]*Class),
-		bytes:  make(map[int]float64),
-	}
-}
-
-// Root returns the root class.
-func (h *HSFQ) Root() *Class { return h.root }
-
-// V returns the root class's system virtual time — the v(t) of the SFQ
-// instance that schedules the link itself. Per-class virtual times of the
-// interior nodes evolve independently (§3). Exposed for probes
-// (sched.VirtualTimer).
-func (h *HSFQ) V() float64 { return h.root.v }
-
-// NewClass creates an interior class under parent (nil means root) with the
-// given share weight.
-func (h *HSFQ) NewClass(parent *Class, name string, weight float64) (*Class, error) {
-	if weight <= 0 {
-		return nil, fmt.Errorf("%w: class %q weight %v", sched.ErrBadWeight, name, weight)
-	}
-	if parent == nil {
-		parent = h.root
-	}
-	if parent.leaf {
-		return nil, fmt.Errorf("core: class %q is a leaf", parent.name)
-	}
-	h.classes++
-	c := &Class{name: name, weight: weight, parent: parent, heapIdx: -1}
-	parent.children = append(parent.children, c)
-	return c, nil
-}
-
-// AddFlowTo attaches flow as a leaf class under parent (nil means root).
-func (h *HSFQ) AddFlowTo(parent *Class, flow int, weight float64) error {
-	if weight <= 0 {
-		return fmt.Errorf("%w: flow %d weight %v", sched.ErrBadWeight, flow, weight)
-	}
-	if _, dup := h.leaves[flow]; dup {
-		return fmt.Errorf("core: flow %d already attached", flow)
-	}
-	if h.draining.Draining(flow) {
-		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, flow)
-	}
-	if parent == nil {
-		parent = h.root
-	}
-	if parent.leaf {
-		return fmt.Errorf("core: class %q is a leaf", parent.name)
-	}
-	c := &Class{
-		name:    fmt.Sprintf("flow-%d", flow),
-		weight:  weight,
-		parent:  parent,
-		flow:    flow,
-		leaf:    true,
-		heapIdx: -1,
-	}
-	parent.children = append(parent.children, c)
-	h.leaves[flow] = c
-	return nil
-}
-
-// AddFlow attaches flow directly under the root (sched.Interface).
-func (h *HSFQ) AddFlow(flow int, weight float64) error { return h.AddFlowTo(nil, flow, weight) }
-
-// NewDelegateClass attaches a class whose *internal* packet order is
-// decided by inner (any scheduler — Delay EDD for delay/throughput
-// separation, FIFO for plain aggregation) while the SFQ hierarchy decides
-// when the class is served. Flows must be registered on inner before use
-// and then attached with AddDelegateFlow so the tree can route them.
-func (h *HSFQ) NewDelegateClass(parent *Class, name string, weight float64, inner sched.Interface) (*Class, error) {
-	if inner == nil {
-		return nil, fmt.Errorf("core: delegate class %q needs a scheduler", name)
-	}
-	if weight <= 0 {
-		return nil, fmt.Errorf("%w: class %q weight %v", sched.ErrBadWeight, name, weight)
-	}
-	if parent == nil {
-		parent = h.root
-	}
-	if parent.leaf || parent.inner != nil {
-		return nil, fmt.Errorf("core: class %q cannot hold subclasses", parent.name)
-	}
-	c := &Class{name: name, weight: weight, parent: parent, inner: inner, heapIdx: -1}
-	parent.children = append(parent.children, c)
-	return c, nil
-}
-
-// AddDelegateFlow routes flow into a delegate class. The flow must
-// already be registered on the class's inner scheduler (with whatever
-// parameters that scheduler needs, e.g. AddFlowDeadline for EDD).
-func (h *HSFQ) AddDelegateFlow(c *Class, flow int) error {
-	if c == nil || c.inner == nil {
-		return fmt.Errorf("core: not a delegate class")
-	}
-	if _, dup := h.leaves[flow]; dup {
-		return fmt.Errorf("core: flow %d already attached", flow)
-	}
-	h.leaves[flow] = c
-	return nil
-}
-
-// RemoveFlow detaches an idle leaf flow.
-func (h *HSFQ) RemoveFlow(flow int) error {
-	c, ok := h.leaves[flow]
-	if !ok {
-		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, flow)
-	}
-	if c.inner != nil {
-		// Delegate class: detach the routing; the class itself stays.
-		if err := c.inner.RemoveFlow(flow); err != nil {
-			return err
-		}
-		delete(h.leaves, flow)
-		delete(h.bytes, flow)
-		return nil
-	}
-	if c.active || c.queued() > 0 {
-		return fmt.Errorf("%w: %d", sched.ErrFlowBusy, flow)
-	}
-	c.fifo.Release(&h.chunks) // return the cached chunk to the pool
-	p := c.parent
-	for i, ch := range p.children {
-		if ch == c {
-			p.children = append(p.children[:i], p.children[i+1:]...)
-			break
-		}
-	}
-	delete(h.leaves, flow)
-	delete(h.bytes, flow)
-	return nil
-}
-
-func (c *Class) queued() int { return c.fifo.Len() }
-
-// Enqueue adds p to its flow's leaf and activates the path to the root as
-// needed, assigning start tags per eq (4) at each newly activated level.
-func (h *HSFQ) Enqueue(now float64, p *Packet) error {
-	if now < h.last {
-		return sched.ErrTimeWentBack
-	}
-	h.last = now
-	leaf, ok := h.leaves[p.Flow]
-	if !ok {
-		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, p.Flow)
-	}
-	if !h.draining.Empty() && h.draining.Draining(p.Flow) {
-		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, p.Flow)
-	}
-	if p.Length <= 0 {
-		return fmt.Errorf("%w: flow %d length %v", sched.ErrBadPacket, p.Flow, p.Length)
-	}
-	if leaf.inner != nil {
-		if err := leaf.inner.Enqueue(now, p); err != nil {
-			return err
-		}
-	} else {
-		h.seq++
-		leaf.fifo.Push(&h.chunks, 0, 0, h.seq, p)
-	}
-	h.bytes[p.Flow] += p.Length
-	h.total++
-
-	// Activate ancestors. Once we find a node that is already active its
-	// ancestors are necessarily aware of pending work.
-	for c := leaf; c.parent != nil && !c.active; c = c.parent {
-		par := c.parent
-		c.curStart = math.Max(par.v, c.lastFinish)
-		c.active = true
-		par.serialSrc++
-		c.serial = par.serialSrc
-		par.childHeap.push(c)
-	}
-	return nil
-}
-
-// Dequeue recursively selects the minimum-start-tag path from the root and
-// pops the packet at its leaf, updating tags level by level (eq 5 with the
-// transmitted packet's length). A Dequeue that finds the tree empty marks
-// the end of the root's busy period: only then does the root virtual time
-// jump to the maximum finish tag (step 2 of the algorithm) — the packet
-// most recently handed out is still in service until the caller asks for
-// the next one, exactly as in SFQ, so a flat tree is packet-for-packet
-// identical to the SFQ scheduler.
-func (h *HSFQ) Dequeue(now float64) (*Packet, bool) {
-	if now > h.last {
-		h.last = now
-	}
-	if h.root.childHeap.Len() == 0 {
-		if h.busy {
-			h.busy = false
-			h.root.v = h.root.maxFinish
-		}
-		if !h.draining.Empty() {
-			h.finalizeDrains()
-		}
-		return nil, false
-	}
-	h.busy = true
-	p := h.root.dequeue(now, &h.chunks)
-	h.bytes[p.Flow] -= p.Length
-	if leaf := h.leaves[p.Flow]; leaf != nil && !leaf.hasContent() {
-		h.bytes[p.Flow] = 0 // exact zero for emptiness checks
-	}
-	h.total--
-	if !h.draining.Empty() {
-		h.finalizeDrains()
-	}
-	return p, true
-}
-
-// hasContent reports whether the class's subtree holds any packet.
-func (c *Class) hasContent() bool {
-	switch {
-	case c.leaf:
-		return c.queued() > 0
-	case c.inner != nil:
-		return c.inner.Len() > 0
-	default:
-		return c.childHeap.Len() > 0
-	}
-}
-
-// dequeue pops the next packet from an interior node's subtree.
-func (n *Class) dequeue(now float64, chunks *sched.ChunkPool) *Packet {
-	c := n.childHeap.min()
-
-	// v(t) at this node is the start tag of the child logical packet in
-	// service (step 2 of the SFQ algorithm applied to the virtual server).
-	n.v = c.curStart
-
-	var p *Packet
-	switch {
-	case c.leaf:
-		p = c.fifo.Pop(chunks)
-	case c.inner != nil:
-		var ok bool
-		p, ok = c.inner.Dequeue(now)
-		if !ok {
-			panic("core: active delegate class has no packet")
-		}
-	default:
-		p = c.dequeue(now, chunks)
-	}
-
-	finish := c.curStart + p.Length/c.weight
-	c.lastFinish = finish
-	if finish > n.maxFinish {
-		n.maxFinish = finish
-	}
-
-	hasMore := c.hasContent()
-	if hasMore {
-		// The child stays backlogged: chain the next logical packet.
-		// max(v, lastFinish) == lastFinish since v == curStart < finish.
-		c.curStart = finish
-		n.childHeap.fix(c)
-	} else {
-		n.childHeap.remove(c)
-		c.active = false
-		if !c.leaf && c.inner == nil {
-			// The child's own busy period ends: per step 2 its virtual
-			// time jumps to the max finish tag it has served.
-			c.v = c.maxFinish
-		}
-	}
-	return p
-}
-
-// Len returns the number of queued packets across the whole tree.
-func (h *HSFQ) Len() int { return h.total }
-
-// QueuedBytes returns the bytes queued for flow.
-func (h *HSFQ) QueuedBytes(flow int) float64 { return h.bytes[flow] }
-
-// childHeap is a hand-rolled indexed min-heap of active children ordered
-// by (curStart, serial) — start tag with FIFO tie-breaking on the parent's
-// activation serial, which is unique per parent, so the minimum is a
-// strict total order and the heap layout cannot affect the schedule. It
-// follows the same hole-moving sift idiom as sched.FlowHeap.
-type childHeap struct{ cs []*Class }
-
-func (ch *childHeap) Len() int { return len(ch.cs) }
-
-func childLess(a, b *Class) bool {
-	if a.curStart != b.curStart {
-		return a.curStart < b.curStart
-	}
-	return a.serial < b.serial
-}
-
-func (ch *childHeap) push(c *Class) {
-	ch.cs = append(ch.cs, c)
-	ch.siftUp(len(ch.cs)-1, c)
-}
-
-func (ch *childHeap) min() *Class { return ch.cs[0] }
-
-func (ch *childHeap) fix(c *Class) {
-	i := c.heapIdx
-	if i > 0 && childLess(c, ch.cs[(i-1)/2]) {
-		ch.siftUp(i, c)
-		return
-	}
-	ch.siftDown(i, c)
-}
-
-func (ch *childHeap) remove(c *Class) {
-	i := c.heapIdx
-	c.heapIdx = -1
-	n := len(ch.cs)
-	last := ch.cs[n-1]
-	ch.cs[n-1] = nil
-	ch.cs = ch.cs[:n-1]
-	if i == n-1 {
-		return
-	}
-	if i > 0 && childLess(last, ch.cs[(i-1)/2]) {
-		ch.siftUp(i, last)
-		return
-	}
-	ch.siftDown(i, last)
-}
-
-func (ch *childHeap) siftUp(i int, c *Class) {
-	cs := ch.cs
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !childLess(c, cs[parent]) {
-			break
-		}
-		cs[i] = cs[parent]
-		cs[i].heapIdx = i
-		i = parent
-	}
-	cs[i] = c
-	c.heapIdx = i
-}
-
-func (ch *childHeap) siftDown(i int, c *Class) {
-	cs := ch.cs
-	n := len(cs)
-	for {
-		child := 2*i + 1
-		if child >= n {
-			break
-		}
-		if r := child + 1; r < n && childLess(cs[r], cs[child]) {
-			child = r
-		}
-		if !childLess(cs[child], c) {
-			break
-		}
-		cs[i] = cs[child]
-		cs[i].heapIdx = i
-		i = child
-	}
-	cs[i] = c
-	c.heapIdx = i
-}
+func NewHSFQ() *HSFQ { return hier.NewHSFQ() }

@@ -3,15 +3,15 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 
 	"repro/internal/sched"
 )
 
 // This file implements sched.Reconfigurable (live mutation) and
 // sched.Snapshotter (deterministic serialization) for the paper's own
-// disciplines: SFQ and hierarchical SFQ. See internal/sched/snapshot.go
-// for the determinism contract every implementation here follows.
+// flat SFQ discipline (hierarchical SFQ lives with the generic tree
+// layer in internal/hier). See internal/sched/snapshot.go for the
+// determinism contract every implementation here follows.
 
 // ------------------------------------------------------------------ SFQ --
 
@@ -129,338 +129,3 @@ func (s *SFQ) RestoreState(data []byte) error {
 
 // VisitQueued visits queued packets: flows ascending, FIFO within a flow.
 func (s *SFQ) VisitQueued(fn func(*Packet)) { s.fq.VisitQueued(fn) }
-
-// ----------------------------------------------------------------- HSFQ --
-
-// SetWeight changes flow's leaf-class weight. Finish tags are computed at
-// dequeue time with the weight then in force (the eq 5 refinement in the
-// type comment), so the change applies from the next packet the leaf
-// schedules — no retagging. Delegate flows are forwarded to the inner
-// scheduler when it is reconfigurable.
-func (h *HSFQ) SetWeight(flow int, weight float64) error {
-	if weight <= 0 {
-		return fmt.Errorf("%w: flow %d weight %v", sched.ErrBadWeight, flow, weight)
-	}
-	c, ok := h.leaves[flow]
-	if !ok {
-		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, flow)
-	}
-	if h.draining.Draining(flow) {
-		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, flow)
-	}
-	if c.inner != nil {
-		rc, ok := c.inner.(sched.Reconfigurable)
-		if !ok {
-			return fmt.Errorf("core: delegate class %q scheduler cannot be reconfigured", c.name)
-		}
-		return rc.SetWeight(flow, weight)
-	}
-	c.weight = weight
-	return nil
-}
-
-// SetClassWeight changes an interior (or delegate) class's share weight,
-// effective from the next packet scheduled out of that class's subtree —
-// the live link-sharing edit Section 3's tree is meant to support.
-func (h *HSFQ) SetClassWeight(c *Class, weight float64) error {
-	if c == nil || c == h.root {
-		return fmt.Errorf("%w: root class weight is fixed", sched.ErrBadConfig)
-	}
-	if weight <= 0 {
-		return fmt.Errorf("%w: class %q weight %v", sched.ErrBadWeight, c.name, weight)
-	}
-	n := c
-	for n.parent != nil {
-		n = n.parent
-	}
-	if n != h.root {
-		return fmt.Errorf("%w: class %q is not in this tree", sched.ErrBadConfig, c.name)
-	}
-	c.weight = weight
-	return nil
-}
-
-// SetCapacity reports that HSFQ is self-clocked at every level.
-func (h *HSFQ) SetCapacity(float64) error { return sched.ErrNoCapacityKnob }
-
-// DrainFlow removes a plain leaf flow gracefully (see
-// sched.Reconfigurable). Delegate flows are refused: their backlog lives
-// inside the inner scheduler, which should be drained directly.
-func (h *HSFQ) DrainFlow(flow int) error {
-	c, ok := h.leaves[flow]
-	if !ok {
-		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, flow)
-	}
-	if c.inner != nil {
-		return fmt.Errorf("core: delegate flow %d cannot be drained; drain the inner scheduler", flow)
-	}
-	if h.draining.Draining(flow) {
-		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, flow)
-	}
-	if !c.active && c.queued() == 0 {
-		return h.RemoveFlow(flow)
-	}
-	h.draining.Mark(flow)
-	return nil
-}
-
-// finalizeDrains detaches draining leaves whose backlog has emptied.
-func (h *HSFQ) finalizeDrains() {
-	for _, f := range h.draining.Flows() {
-		if c := h.leaves[f]; c != nil && !c.active && c.queued() == 0 {
-			h.draining.Clear(f)
-			h.RemoveFlow(f)
-		}
-	}
-}
-
-// ListFlows returns the attached flows sorted by id. The reported weight
-// is the leaf class's share weight (for delegate flows, the delegate
-// class's — the inner scheduler owns the per-flow parameters).
-func (h *HSFQ) ListFlows() []sched.FlowInfo {
-	out := make([]sched.FlowInfo, 0, len(h.leaves))
-	for f, c := range h.leaves {
-		out = append(out, sched.FlowInfo{Flow: f, Weight: c.weight})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
-	return out
-}
-
-// hsfqNodeState is one class in the link-sharing tree, children in
-// creation order (creation order is schedule state: it breaks curStart
-// ties via activation serials and fixes sibling identity).
-type hsfqNodeState struct {
-	Name   string  `json:"name"`
-	Weight float64 `json:"weight"`
-	Leaf   bool    `json:"leaf,omitempty"`
-	Flow   int     `json:"flow,omitempty"`
-
-	Active     bool    `json:"active,omitempty"`
-	CurStart   float64 `json:"curStart,omitempty"`
-	LastFinish float64 `json:"lastFinish,omitempty"`
-	Serial     uint64  `json:"serial,omitempty"`
-
-	V         float64 `json:"v,omitempty"`
-	MaxFinish float64 `json:"maxFinish,omitempty"`
-	SerialSrc uint64  `json:"serialSrc,omitempty"`
-
-	Fifo     *sched.FlowQState `json:"fifo,omitempty"`
-	Children []hsfqNodeState   `json:"children,omitempty"`
-}
-
-type hsfqState struct {
-	Last     float64              `json:"last"`
-	Busy     bool                 `json:"busy"`
-	Total    int                  `json:"total"`
-	Seq      uint64               `json:"seq"`
-	Bytes    []sched.FlowTagState `json:"bytes,omitempty"`
-	Root     hsfqNodeState        `json:"root"`
-	Draining []int                `json:"draining,omitempty"`
-}
-
-// StateKind identifies hierarchical SFQ snapshot state.
-func (h *HSFQ) StateKind() string { return "core/hsfq" }
-
-// MarshalState serializes the whole link-sharing tree: per-class tags and
-// virtual times, leaf FIFOs in arrival order, and the byte accounting.
-// Delegate classes are refused — their backlog belongs to the inner
-// scheduler, which has its own snapshot kind.
-func (h *HSFQ) MarshalState() ([]byte, error) {
-	root, err := captureClass(h.root)
-	if err != nil {
-		return nil, err
-	}
-	st := hsfqState{
-		Last: h.last, Busy: h.busy, Total: h.total, Seq: h.seq,
-		Root: *root, Draining: h.draining.Flows(),
-	}
-	ids := make([]int, 0, len(h.bytes))
-	for f, b := range h.bytes {
-		if b != 0 {
-			ids = append(ids, f)
-		}
-	}
-	sort.Ints(ids)
-	for _, f := range ids {
-		st.Bytes = append(st.Bytes, sched.FlowTagState{Flow: f, Tag: h.bytes[f]})
-	}
-	return json.Marshal(st)
-}
-
-// captureClass serializes c's subtree, children in creation order.
-func captureClass(c *Class) (*hsfqNodeState, error) {
-	if c.inner != nil {
-		return nil, fmt.Errorf("core: delegate class %q does not support snapshots", c.name)
-	}
-	st := &hsfqNodeState{
-		Name: c.name, Weight: c.weight, Leaf: c.leaf, Flow: c.flow,
-		Active: c.active, CurStart: c.curStart, LastFinish: c.lastFinish,
-		Serial: c.serial,
-		V:      c.v, MaxFinish: c.maxFinish, SerialSrc: c.serialSrc,
-	}
-	if c.leaf {
-		if c.queued() > 0 {
-			fifo := c.fifo.CaptureState()
-			fifo.Flow = c.flow
-			st.Fifo = &fifo
-		}
-		return st, nil
-	}
-	for _, ch := range c.children {
-		cs, err := captureClass(ch)
-		if err != nil {
-			return nil, err
-		}
-		st.Children = append(st.Children, *cs)
-	}
-	return st, nil
-}
-
-// RestoreState loads state into a freshly constructed HSFQ, rebuilding
-// the tree, the per-parent child heaps (active children pushed in their
-// (curStart, serial) strict total order — a sorted push sequence is a
-// valid heap and pop order is total anyway), and the leaf FIFOs.
-func (h *HSFQ) RestoreState(data []byte) error {
-	if len(h.leaves) != 0 || h.total != 0 || len(h.root.children) != 0 {
-		return fmt.Errorf("%w: restore into non-empty scheduler", sched.ErrBadState)
-	}
-	var st hsfqState
-	if err := json.Unmarshal(data, &st); err != nil {
-		return fmt.Errorf("%w: %v", sched.ErrBadState, err)
-	}
-	rs := &hsfqRestore{h: h}
-	root, _, err := rs.node(&st.Root, nil)
-	if err != nil {
-		return err
-	}
-	if rs.total != st.Total {
-		return fmt.Errorf("%w: hsfq total %d != %d queued packets", sched.ErrBadState, st.Total, rs.total)
-	}
-	if st.Seq < rs.maxSerial {
-		return fmt.Errorf("%w: hsfq push serial %d below max item serial %d", sched.ErrBadState, st.Seq, rs.maxSerial)
-	}
-	for i, b := range st.Bytes {
-		if i > 0 && b.Flow <= st.Bytes[i-1].Flow {
-			return fmt.Errorf("%w: hsfq bytes flow ids not ascending at %d", sched.ErrBadState, b.Flow)
-		}
-		leaf, ok := h.leaves[b.Flow]
-		if !ok {
-			return fmt.Errorf("%w: hsfq bytes for unattached flow %d", sched.ErrBadState, b.Flow)
-		}
-		if !sched.CloseTo(b.Tag, leaf.fifo.QueuedBytes()) {
-			return fmt.Errorf("%w: hsfq flow %d bytes disagree with leaf FIFO", sched.ErrBadState, b.Flow)
-		}
-		h.bytes[b.Flow] = b.Tag
-	}
-	for f, leaf := range h.leaves {
-		if leaf.queued() > 0 && h.bytes[f] == 0 {
-			return fmt.Errorf("%w: hsfq backlogged flow %d with no byte accounting", sched.ErrBadState, f)
-		}
-	}
-	for i, f := range st.Draining {
-		if i > 0 && f <= st.Draining[i-1] {
-			return fmt.Errorf("%w: draining flows not ascending at %d", sched.ErrBadState, f)
-		}
-		if _, ok := h.leaves[f]; !ok {
-			return fmt.Errorf("%w: draining flow %d not attached", sched.ErrBadState, f)
-		}
-	}
-	h.draining.SetFlows(st.Draining)
-	h.root = root
-	h.last, h.busy, h.total, h.seq = st.Last, st.Busy, st.Total, st.Seq
-	return nil
-}
-
-// hsfqRestore accumulates cross-tree restore bookkeeping.
-type hsfqRestore struct {
-	h         *HSFQ
-	total     int
-	maxSerial uint64
-}
-
-// node rebuilds one class subtree, returning the class and whether its
-// subtree holds any packet (to cross-check the active flags, which drive
-// the child heaps and hence the schedule).
-func (rs *hsfqRestore) node(st *hsfqNodeState, parent *Class) (*Class, bool, error) {
-	if st.Weight <= 0 {
-		return nil, false, fmt.Errorf("%w: class %q weight %v", sched.ErrBadState, st.Name, st.Weight)
-	}
-	c := &Class{
-		name: st.Name, weight: st.Weight, parent: parent,
-		flow: st.Flow, leaf: st.Leaf,
-		active: st.Active, curStart: st.CurStart, lastFinish: st.LastFinish,
-		serial: st.Serial, heapIdx: -1,
-		v: st.V, maxFinish: st.MaxFinish, serialSrc: st.SerialSrc,
-	}
-	if parent == nil && (st.Leaf || st.Active) {
-		return nil, false, fmt.Errorf("%w: root class cannot be a leaf or active", sched.ErrBadState)
-	}
-	content := false
-	if st.Leaf {
-		if len(st.Children) > 0 {
-			return nil, false, fmt.Errorf("%w: leaf class %q has children", sched.ErrBadState, st.Name)
-		}
-		if _, dup := rs.h.leaves[st.Flow]; dup {
-			return nil, false, fmt.Errorf("%w: flow %d attached twice", sched.ErrBadState, st.Flow)
-		}
-		if st.Fifo != nil {
-			if st.Fifo.Flow != st.Flow {
-				return nil, false, fmt.Errorf("%w: leaf %q FIFO carries flow %d", sched.ErrBadState, st.Name, st.Fifo.Flow)
-			}
-			if err := c.fifo.RestoreState(&rs.h.chunks, *st.Fifo); err != nil {
-				return nil, false, err
-			}
-			for _, it := range st.Fifo.Items {
-				if it.Serial > rs.maxSerial {
-					rs.maxSerial = it.Serial
-				}
-			}
-			rs.total += len(st.Fifo.Items)
-			content = true
-		}
-		rs.h.leaves[st.Flow] = c
-	} else {
-		var active []*Class
-		for i := range st.Children {
-			ch, has, err := rs.node(&st.Children[i], c)
-			if err != nil {
-				return nil, false, err
-			}
-			c.children = append(c.children, ch)
-			if has {
-				content = true
-			}
-			if ch.active {
-				active = append(active, ch)
-				if ch.serial > c.serialSrc {
-					return nil, false, fmt.Errorf("%w: class %q serial %d above parent source %d", sched.ErrBadState, ch.name, ch.serial, c.serialSrc)
-				}
-			}
-		}
-		sort.Slice(active, func(i, j int) bool { return childLess(active[i], active[j]) })
-		for i, ch := range active {
-			if i > 0 && !childLess(active[i-1], ch) {
-				return nil, false, fmt.Errorf("%w: class %q children not in strict (curStart, serial) order", sched.ErrBadState, st.Name)
-			}
-			c.childHeap.push(ch)
-		}
-	}
-	if parent != nil && st.Active != content {
-		return nil, false, fmt.Errorf("%w: class %q active flag disagrees with subtree content", sched.ErrBadState, st.Name)
-	}
-	return c, content, nil
-}
-
-// VisitQueued visits queued packets: flows ascending, FIFO within a flow.
-func (h *HSFQ) VisitQueued(fn func(*Packet)) {
-	ids := make([]int, 0, len(h.leaves))
-	for f, c := range h.leaves {
-		if c.inner == nil && c.queued() > 0 {
-			ids = append(ids, f)
-		}
-	}
-	sort.Ints(ids)
-	for _, f := range ids {
-		h.leaves[f].fifo.VisitQueued(fn)
-	}
-}

@@ -1,10 +1,9 @@
 package core
 
-import "repro/internal/sched"
-
 // Pool-safety declarations (see sched.PoolSafe): these schedulers drop
 // their reference to a packet when Dequeue returns it, so links may
-// recycle dequeued packets through a sched.PacketPool.
+// recycle dequeued packets through a sched.PacketPool. (HSFQ's lives with
+// the generic tree layer in internal/hier.)
 
 // PacketPoolSafe reports that SFQ retains no dequeued packets.
 func (s *SFQ) PacketPoolSafe() bool { return true }
@@ -12,16 +11,3 @@ func (s *SFQ) PacketPoolSafe() bool { return true }
 // PacketPoolSafe reports that FlowSFQ retains no dequeued packets (its
 // per-flow FIFOs nil out served slots).
 func (s *FlowSFQ) PacketPoolSafe() bool { return true }
-
-// PacketPoolSafe reports whether the tree retains no dequeued packets:
-// true unless some delegate class wraps a scheduler that is itself unsafe.
-// Composite safety reflects the delegates registered so far, so sample it
-// after the tree is fully built.
-func (h *HSFQ) PacketPoolSafe() bool {
-	for _, leaf := range h.leaves {
-		if leaf.inner != nil && !sched.PoolSafeScheduler(leaf.inner) {
-			return false
-		}
-	}
-	return true
-}

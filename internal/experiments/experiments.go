@@ -79,5 +79,6 @@ func All(scale float64, seed int64) []*Result {
 		FaultContrast(seed),
 		UPSReplay(seed),
 		LiveOps(seed),
+		ComposedTree(seed),
 	}
 }

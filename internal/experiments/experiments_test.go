@@ -284,7 +284,7 @@ func TestBoundsTableShape(t *testing.T) {
 
 func TestAllRunsAndRenders(t *testing.T) {
 	results := All(0.02, 1)
-	if len(results) != 22 {
+	if len(results) != 23 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	seen := map[string]bool{}

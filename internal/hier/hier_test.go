@@ -1,0 +1,376 @@
+package hier_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/hier"
+	_ "repro/internal/pifo" // registers the pifo-* disciplines
+	"repro/internal/sched"
+)
+
+// Grammar: parse, canonicalize, and reject — the composed-name surface the
+// registry exposes. The scheduling behaviour of composed trees is pinned
+// by the conformance matrix; these tests cover the layer's own mechanics.
+
+func TestParseSpecCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"drr", "drr"},
+		{"sfq(drr,edd)", "sfq(drr,edd)"},
+		{"sfq(drr*1,edd*1)", "sfq(drr,edd)"}, // weight 1 is the default
+		{"sfq(edd*4,scfq*3,drr*2,fifo)", "sfq(edd*4,scfq*3,drr*2,fifo)"},
+		{"sfq(drr*2.5,edd)", "sfq(drr*2.5,edd)"},
+		{"pifo-sfq(pifo-sfq,pifo-sfq)", "pifo-sfq(pifo-sfq,pifo-sfq)"},
+		{"sfq(sfq(drr,fifo),edd)*3", "sfq(sfq(drr,fifo),edd)*3"},
+	}
+	for _, tc := range cases {
+		sp, err := hier.ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got := sp.String(); got != tc.want {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	deep := strings.Repeat("a(", 9) + "a" + strings.Repeat(")", 9)
+	wide := "sfq(" + strings.Repeat("a,", 64) + "a)"
+	cases := []struct{ in, frag string }{
+		{"", "expected a discipline name at offset 0"},
+		{"SFQ", "expected a discipline name at offset 0"}, // names are lower-case
+		{"sfq(drr,edd))", `trailing input at ")"`},
+		{"sfq(drr,edd", "expected ')' at offset 11"},
+		{"sfq(drr,)", "expected a discipline name at offset 8"},
+		{"drr*0", `bad weight "0" for "drr"`},
+		{"drr*", `bad weight "" for "drr"`},
+		{"drr*-1", `bad weight "" for "drr"`}, // '-' is a name char, not a weight char
+		{deep, "deeper than 8 levels"},
+		{wide, "more than 64 nodes"},
+	}
+	for _, tc := range cases {
+		_, err := hier.ParseSpec(tc.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", tc.in)
+			continue
+		}
+		if !errors.Is(err, sched.ErrBadConfig) {
+			t.Errorf("ParseSpec(%q): not ErrBadConfig: %v", tc.in, err)
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("ParseSpec(%q) = %q, want substring %q", tc.in, err, tc.frag)
+		}
+	}
+}
+
+func TestRegistryFamily(t *testing.T) {
+	// Open-ended names resolve through the fallback even when unregistered.
+	s, err := sched.NewDiscipline("hier:sfq(fifo,fifo)", sched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := s.(sched.Snapshotter).StateKind(); kind != "hier:sfq(fifo,fifo)" {
+		t.Errorf("StateKind = %q", kind)
+	}
+	// The bare name reads the spec from the config...
+	if _, err := sched.New("hier", sched.WithTree("sfq(drr,edd)")); err != nil {
+		t.Fatal(err)
+	}
+	// ...and refuses to run without one.
+	_, err = sched.New("hier")
+	if !errors.Is(err, sched.ErrBadConfig) || !strings.Contains(err.Error(), "hier requires a tree spec") {
+		t.Errorf("bare hier error = %v", err)
+	}
+	// Non-canonical spellings canonicalize in the state kind, so their
+	// snapshots restore into canonically-named trees.
+	nc, err := hier.NewTree("sfq(drr*1,edd)", sched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := nc.StateKind(); kind != "hier:sfq(drr,edd)" {
+		t.Errorf("canonical StateKind = %q", kind)
+	}
+	// Unknown discipline inside a spec surfaces the registry error.
+	if _, err := hier.NewTree("sfq(bogus,fifo)", sched.Config{}); !errors.Is(err, sched.ErrBadConfig) {
+		t.Errorf("bogus child disc error = %v", err)
+	}
+}
+
+// drain pulls every queued packet at fixed virtual ticks and returns the
+// (flow, length) service order.
+func drain(s sched.Interface, now float64) []string {
+	var out []string
+	for {
+		p, ok := s.Dequeue(now)
+		if !ok {
+			return out
+		}
+		out = append(out, fmt.Sprintf("%d:%g", p.Flow, p.Length))
+		now += 1e-4
+	}
+}
+
+func TestSingleSinkTree(t *testing.T) {
+	// "hier:drr" is degenerate — the whole link is one sink — but it gives
+	// any flat discipline the tree layer's snapshot/reconfigure surfaces.
+	h := hier.MustNew("drr", sched.Config{})
+	for f := 0; f < 3; f++ {
+		if err := h.AddFlow(f, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := h.Enqueue(0, &sched.Packet{Flow: i % 3, Length: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 6 || h.QueuedBytes(1) != 200 {
+		t.Fatalf("Len=%d bytes(1)=%v", h.Len(), h.QueuedBytes(1))
+	}
+	blob, err := h.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := hier.MustNew("drr", sched.Config{})
+	if err := h2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	a, b := drain(h, 1e-3), drain(h2, 1e-3)
+	if fmt.Sprint(a) != fmt.Sprint(b) || len(a) != 6 {
+		t.Errorf("drain mismatch:\n  orig     %v\n  restored %v", a, b)
+	}
+}
+
+func TestMixedTreeConservation(t *testing.T) {
+	h := hier.MustNew("sfq(edd,scfq,drr,fifo)", sched.Config{})
+	const flows, per = 8, 5
+	want := 0
+	for f := 0; f < flows; f++ {
+		if err := h.AddFlow(f, float64(f%3+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := 0.0
+	for i := 0; i < per; i++ {
+		for f := 0; f < flows; f++ {
+			if err := h.Enqueue(now, &sched.Packet{Flow: f, Length: float64(100 + 10*f)}); err != nil {
+				t.Fatal(err)
+			}
+			want++
+			now += 1e-5
+		}
+	}
+	if h.Len() != want {
+		t.Fatalf("Len = %d, want %d", h.Len(), want)
+	}
+	got := make(map[int]int)
+	for h.Len() > 0 {
+		p, ok := h.Dequeue(now)
+		if !ok {
+			t.Fatalf("ran dry with Len = %d", h.Len())
+		}
+		got[p.Flow]++
+		now += 1e-4
+	}
+	for f := 0; f < flows; f++ {
+		if got[f] != per {
+			t.Errorf("flow %d served %d packets, want %d", f, got[f], per)
+		}
+		if h.QueuedBytes(f) != 0 {
+			t.Errorf("flow %d QueuedBytes = %v after drain", f, h.QueuedBytes(f))
+		}
+	}
+	if _, ok := h.Dequeue(now); ok {
+		t.Error("dequeue from empty tree succeeded")
+	}
+}
+
+func TestSnapshotRoundTripStructured(t *testing.T) {
+	for _, spec := range []string{
+		"sfq(drr,edd)",
+		"sfq(edd,scfq,drr,fifo)",
+		"pifo-sfq(pifo-sfq,pifo-sfq)",
+		"sfq(sfq(fifo,drr),edd)",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			h := hier.MustNew(spec, sched.Config{})
+			for f := 0; f < 6; f++ {
+				if err := h.AddFlow(f, float64(f+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			now := 0.0
+			for i := 0; i < 30; i++ {
+				if err := h.Enqueue(now, &sched.Packet{Flow: i % 6, Length: float64(64 + i)}); err != nil {
+					t.Fatal(err)
+				}
+				now += 1e-5
+				if i%4 == 3 { // interleave service so virtual clocks advance
+					h.Dequeue(now)
+				}
+			}
+			blob, err := h.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2 := hier.MustNew(spec, sched.Config{})
+			if err := h2.RestoreState(blob); err != nil {
+				t.Fatal(err)
+			}
+			if h2.Len() != h.Len() {
+				t.Fatalf("restored Len = %d, want %d", h2.Len(), h.Len())
+			}
+			a, b := drain(h, now), drain(h2, now)
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Errorf("drain order diverged:\n  orig     %v\n  restored %v", a, b)
+			}
+		})
+	}
+}
+
+func TestSnapshotRefusesForeignShape(t *testing.T) {
+	h := hier.MustNew("sfq(drr,edd)", sched.Config{})
+	if err := h.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := h.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same node count, different sink discipline: restore must refuse.
+	h2 := hier.MustNew("sfq(drr,scfq)", sched.Config{})
+	if err := h2.RestoreState(blob); err == nil {
+		t.Error("restore into a different composition accepted")
+	}
+	// A bare flat HSFQ must refuse a structured snapshot too.
+	if err := hier.NewHSFQ().RestoreState(blob); err == nil {
+		t.Error("restore of a composed snapshot into a flat HSFQ accepted")
+	}
+}
+
+func TestHandBuiltMixedTree(t *testing.T) {
+	// Build sfq-over-(drr interior over two fifo sinks) by hand, without
+	// the grammar: the constructor surface linkshare compiles onto.
+	h := hier.NewHSFQ()
+	agg, err := h.NewDiscClass(nil, "agg", 2, "drr", sched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := h.NewSinkClass(agg, "s1", 1, "fifo", sched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.NewSinkClass(agg, "s2", 1, "fifo", sched.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Flow leaves may not hang off a discipline interior...
+	if err := h.AddFlowTo(agg, 9, 1); err == nil {
+		t.Error("flow leaf under a discipline interior accepted")
+	}
+	// ...but sinks take them, and AddFlow routes across the sinks.
+	if err := h.AddFlowTo(s1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddFlow(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	for i := 0; i < 8; i++ {
+		if err := h.Enqueue(now, &sched.Packet{Flow: i % 2, Length: 100}); err != nil {
+			t.Fatal(err)
+		}
+		now += 1e-5
+	}
+	if got := drain(h, now); len(got) != 8 {
+		t.Errorf("served %d packets, want 8", len(got))
+	}
+	// "sfq" as a disc name aliases the native interior.
+	native, err := h.NewDiscClass(nil, "native", 1, "sfq", sched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.NewClass(native, "sub", 1); err != nil {
+		t.Errorf("native sfq interior rejects subclasses: %v", err)
+	}
+}
+
+func TestReconfigPaths(t *testing.T) {
+	h := hier.MustNew("sfq(drr,edd)", sched.Config{})
+	if err := h.AddFlow(0, 1); err != nil { // routes to the DRR sink
+		t.Fatal(err)
+	}
+	if err := h.AddFlow(1, 1); err != nil { // routes to the EDD sink
+		t.Fatal(err)
+	}
+	// SetWeight reaches into the owning sink (via Reconfigurable when the
+	// discipline has one, AddFlow-upsert when it doesn't).
+	if err := h.SetWeight(0, 5); err != nil {
+		t.Errorf("SetWeight on a DRR-sink flow: %v", err)
+	}
+	if err := h.SetWeight(1, 5); err != nil {
+		t.Errorf("SetWeight on an EDD-sink flow: %v", err)
+	}
+	if err := h.SetWeight(99, 1); err == nil {
+		t.Error("SetWeight on an unknown flow accepted")
+	}
+	// The tree has no capacity knob of its own.
+	if err := h.SetCapacity(1e6); !errors.Is(err, sched.ErrNoCapacityKnob) {
+		t.Errorf("SetCapacity = %v", err)
+	}
+	// Draining a sink flow: refuses new arrivals, finalizes when served.
+	if err := h.Enqueue(0, &sched.Packet{Flow: 0, Length: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DrainFlow(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Enqueue(1e-5, &sched.Packet{Flow: 0, Length: 100}); !errors.Is(err, sched.ErrFlowDraining) {
+		t.Errorf("enqueue on draining flow = %v", err)
+	}
+	if p, ok := h.Dequeue(1e-3); !ok || p.Flow != 0 {
+		t.Fatal("draining flow's packet not served")
+	}
+	for _, fi := range h.ListFlows() {
+		if fi.Flow == 0 {
+			t.Error("drained flow still listed")
+		}
+	}
+}
+
+func TestDelegateRefusesSnapshots(t *testing.T) {
+	h := hier.NewHSFQ()
+	if _, err := h.NewDelegateClass(nil, "legacy", 1, sched.NewSCFQ()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := h.MarshalState()
+	if err == nil || !strings.Contains(err.Error(), "does not support snapshots") {
+		t.Errorf("MarshalState with a delegate = %v", err)
+	}
+}
+
+func TestTreePoolSafety(t *testing.T) {
+	// Pool safety is the AND over sinks: DRR and EDD both recycle, so the
+	// composed tree does; a delegate with no PacketPoolSafe poisons it.
+	if !sched.PoolSafeScheduler(hier.MustNew("sfq(drr,edd)", sched.Config{})) {
+		t.Error("sfq(drr,edd) should be pool-safe")
+	}
+	h := hier.NewHSFQ()
+	d, err := h.NewDelegateClass(nil, "d", 1, unsafeSched{sched.NewFIFO()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddDelegateFlow(d, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sched.PoolSafeScheduler(h) {
+		t.Error("tree with a pool-unsafe delegate claims pool safety")
+	}
+}
+
+// unsafeSched hides FIFO's PacketPoolSafe method behind the plain
+// Interface method set.
+type unsafeSched struct{ sched.Interface }

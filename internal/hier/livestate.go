@@ -1,0 +1,648 @@
+package hier
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/liveops"
+	"repro/internal/sched"
+)
+
+// This file implements sched.Reconfigurable (live mutation) and
+// sched.Snapshotter (deterministic serialization) for the generic tree.
+// Pure SFQ-of-SFQs trees — the core.HSFQ instance — serialize to exactly
+// the pre-refactor "core/hsfq" byte format; discipline-backed nodes
+// append their own versioned liveops envelopes to the node record, so
+// snapshots recurse: the tree's state embeds each node discipline's
+// state, digest-pinned, and restore rebuilds them level by level.
+
+// ---------------------------------------------------------- Reconfigure --
+
+// SetWeight changes flow's weight for packets arriving after the call.
+// Flow-leaf classes change their share weight (finish tags are computed
+// at dequeue time with the weight then in force — the eq 5 refinement —
+// so the change applies from the next packet the leaf schedules, no
+// retagging). Flows routed into sink classes are forwarded to the sink's
+// discipline. Delegate flows are forwarded to the inner scheduler when it
+// is reconfigurable.
+func (h *Tree) SetWeight(flow int, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("%w: flow %d weight %v", sched.ErrBadWeight, flow, weight)
+	}
+	c, ok := h.leaves[flow]
+	if !ok {
+		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, flow)
+	}
+	if h.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, flow)
+	}
+	switch c.kind {
+	case kindDelegate:
+		rc, ok := c.disc.(sched.Reconfigurable)
+		if !ok {
+			return fmt.Errorf("core: delegate class %q scheduler cannot be reconfigured", c.name)
+		}
+		return rc.SetWeight(flow, weight)
+	case kindLeafDisc:
+		if rc, ok := c.disc.(sched.Reconfigurable); ok {
+			return rc.SetWeight(flow, weight)
+		}
+		// Disciplines without the live-mutation surface (FIFO, DRR)
+		// re-register: FlowSet registration is an upsert, and neither
+		// keeps per-flow tag state that a weight change would invalidate.
+		return c.disc.AddFlow(flow, weight)
+	}
+	c.weight = weight
+	return nil
+}
+
+// SetClassWeight changes an interior (or delegate/sink) class's share
+// weight, effective from the next packet scheduled out of that class's
+// subtree — the live link-sharing edit Section 3's tree is meant to
+// support. Under a discipline interior the class is a pseudo-flow, so the
+// parent discipline is re-registered with the new weight too.
+func (h *Tree) SetClassWeight(c *Node, weight float64) error {
+	if c == nil || c == h.root {
+		return fmt.Errorf("%w: root class weight is fixed", sched.ErrBadConfig)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("%w: class %q weight %v", sched.ErrBadWeight, c.name, weight)
+	}
+	n := c
+	for n.parent != nil {
+		n = n.parent
+	}
+	if n != h.root {
+		return fmt.Errorf("%w: class %q is not in this tree", sched.ErrBadConfig, c.name)
+	}
+	if par := c.parent; par.kind == kindDisc {
+		if rc, ok := par.disc.(sched.Reconfigurable); ok {
+			if err := rc.SetWeight(c.idx, weight); err != nil {
+				return err
+			}
+		} else if err := par.disc.AddFlow(c.idx, weight); err != nil {
+			return err
+		}
+	}
+	c.weight = weight
+	return nil
+}
+
+// SetCapacity reports that the tree is self-clocked at every level.
+func (h *Tree) SetCapacity(float64) error { return sched.ErrNoCapacityKnob }
+
+// DrainFlow removes a leaf flow gracefully (see sched.Reconfigurable):
+// plain flow leaves and sink-routed flows alike refuse new arrivals,
+// serve their backlog normally, and unregister once empty. Delegate flows
+// are refused: their backlog lives inside the inner scheduler, which
+// should be drained directly.
+func (h *Tree) DrainFlow(flow int) error {
+	c, ok := h.leaves[flow]
+	if !ok {
+		return fmt.Errorf("%w: %d", sched.ErrUnknownFlow, flow)
+	}
+	if c.kind == kindDelegate {
+		return fmt.Errorf("core: delegate flow %d cannot be drained; drain the inner scheduler", flow)
+	}
+	if h.draining.Draining(flow) {
+		return fmt.Errorf("%w: %d", sched.ErrFlowDraining, flow)
+	}
+	if c.kind == kindLeafDisc {
+		if c.disc.QueuedBytes(flow) == 0 {
+			return h.RemoveFlow(flow)
+		}
+	} else if !c.active && c.queued() == 0 {
+		return h.RemoveFlow(flow)
+	}
+	h.draining.Mark(flow)
+	return nil
+}
+
+// finalizeDrains detaches draining flows whose backlog has emptied.
+func (h *Tree) finalizeDrains() {
+	for _, f := range h.draining.Flows() {
+		c := h.leaves[f]
+		if c == nil {
+			continue
+		}
+		switch {
+		case c.kind == kindLeafDisc:
+			if c.disc.QueuedBytes(f) != 0 {
+				continue
+			}
+		case c.active || c.queued() > 0:
+			continue
+		}
+		h.draining.Clear(f)
+		h.RemoveFlow(f)
+	}
+}
+
+// ListFlows returns the attached flows sorted by id. The reported weight
+// is the leaf class's share weight (for delegate- and sink-routed flows,
+// the class's — the discipline owns the per-flow parameters).
+func (h *Tree) ListFlows() []sched.FlowInfo {
+	out := make([]sched.FlowInfo, 0, len(h.leaves))
+	for f, c := range h.leaves {
+		out = append(out, sched.FlowInfo{Flow: f, Weight: c.weight})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
+	return out
+}
+
+// ------------------------------------------------------------- Snapshot --
+
+// nodeState is one class in the link-sharing tree, children in creation
+// order (creation order is schedule state: it breaks curStart ties via
+// activation serials and fixes sibling identity). The first block of
+// fields is the pre-hier "core/hsfq" record, byte-for-byte; the trailing
+// Disc/Env/Flows fields serialize discipline-backed nodes and stay
+// omitted on pure SFQ trees, keeping legacy snapshots byte-identical.
+type nodeState struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+	Leaf   bool    `json:"leaf,omitempty"`
+	Flow   int     `json:"flow,omitempty"`
+
+	Active     bool    `json:"active,omitempty"`
+	CurStart   float64 `json:"curStart,omitempty"`
+	LastFinish float64 `json:"lastFinish,omitempty"`
+	Serial     uint64  `json:"serial,omitempty"`
+
+	V         float64 `json:"v,omitempty"`
+	MaxFinish float64 `json:"maxFinish,omitempty"`
+	SerialSrc uint64  `json:"serialSrc,omitempty"`
+
+	Fifo     *sched.FlowQState `json:"fifo,omitempty"`
+	Children []nodeState       `json:"children,omitempty"`
+
+	// Disc is the registry name of a discipline-backed node (interior or
+	// sink); Env is that discipline's own liveops snapshot envelope —
+	// versioned and digest-pinned, so tree snapshots recurse. Flows lists
+	// the real flows routed into a sink node (ascending); the routing is
+	// tree state, not discipline state.
+	Disc  string          `json:"disc,omitempty"`
+	Env   json.RawMessage `json:"env,omitempty"`
+	Flows []int           `json:"flows,omitempty"`
+}
+
+type treeState struct {
+	Last     float64              `json:"last"`
+	Busy     bool                 `json:"busy"`
+	Total    int                  `json:"total"`
+	Seq      uint64               `json:"seq"`
+	Bytes    []sched.FlowTagState `json:"bytes,omitempty"`
+	Root     nodeState            `json:"root"`
+	Draining []int                `json:"draining,omitempty"`
+}
+
+// StateKind identifies the tree's snapshot state: "core/hsfq" for HSFQ
+// instances, "hier:<spec>" for grammar-built compositions (the canonical
+// spec string, so restore refuses a mismatched topology before the
+// structural walk even runs).
+func (h *Tree) StateKind() string { return h.kind }
+
+// MarshalState serializes the whole link-sharing tree: per-class tags and
+// virtual times, leaf FIFOs in arrival order, embedded discipline
+// envelopes for discipline-backed nodes, and the byte accounting.
+// Delegate classes are refused — their backlog belongs to the inner
+// scheduler, which has its own snapshot kind.
+func (h *Tree) MarshalState() ([]byte, error) {
+	root, err := h.captureNode(h.root)
+	if err != nil {
+		return nil, err
+	}
+	st := treeState{
+		Last: h.last, Busy: h.busy, Total: h.total, Seq: h.seq,
+		Root: *root, Draining: h.draining.Flows(),
+	}
+	ids := make([]int, 0, len(h.bytes))
+	for f, b := range h.bytes {
+		if b != 0 {
+			ids = append(ids, f)
+		}
+	}
+	sort.Ints(ids)
+	for _, f := range ids {
+		st.Bytes = append(st.Bytes, sched.FlowTagState{Flow: f, Tag: h.bytes[f]})
+	}
+	return json.Marshal(st)
+}
+
+// captureNode serializes c's subtree, children in creation order.
+func (h *Tree) captureNode(c *Node) (*nodeState, error) {
+	if c.kind == kindDelegate {
+		return nil, fmt.Errorf("core: delegate class %q does not support snapshots", c.name)
+	}
+	st := &nodeState{
+		Name: c.name, Weight: c.weight, Leaf: c.kind == kindLeafFlow, Flow: c.flow,
+		Active: c.active, CurStart: c.curStart, LastFinish: c.lastFinish,
+		Serial: c.serial,
+		V:      c.v, MaxFinish: c.maxFinish, SerialSrc: c.serialSrc,
+	}
+	switch c.kind {
+	case kindLeafFlow:
+		if c.queued() > 0 {
+			fifo := c.fifo.CaptureState()
+			fifo.Flow = c.flow
+			st.Fifo = &fifo
+		}
+		return st, nil
+	case kindDisc, kindLeafDisc:
+		snap, ok := c.disc.(sched.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("hier: class %q discipline %q does not support snapshots", c.name, c.discName)
+		}
+		env, err := liveops.Snapshot(snap)
+		if err != nil {
+			return nil, fmt.Errorf("hier: class %q: %w", c.name, err)
+		}
+		st.Disc = c.discName
+		st.Env = env
+		if c.kind == kindLeafDisc {
+			for f, leaf := range h.leaves {
+				if leaf == c {
+					st.Flows = append(st.Flows, f)
+				}
+			}
+			sort.Ints(st.Flows)
+			return st, nil
+		}
+	}
+	for _, ch := range c.children {
+		cs, err := h.captureNode(ch)
+		if err != nil {
+			return nil, err
+		}
+		st.Children = append(st.Children, *cs)
+	}
+	return st, nil
+}
+
+// RestoreState loads state into a freshly constructed, empty tree. Two
+// shapes are accepted, matching the two ways trees are built:
+//
+//   - A bare NewHSFQ tree (no pre-built structure): the legacy path —
+//     the class tree is rebuilt from the state, exactly as the
+//     pre-refactor HSFQ restore did. States containing discipline nodes
+//     are refused here, since the tree would not know how to construct
+//     their disciplines.
+//   - A structured tree (grammar- or linkshare-built, interior classes
+//     and sinks already in place): the state is walked against the
+//     existing nodes — names, discipline names, and topology must match
+//     — node scheduling state is loaded in place, per-parent child heaps
+//     are rebuilt (active children pushed in their (curStart, serial)
+//     strict total order — a sorted push sequence is a valid heap and
+//     pop order is total anyway), and each discipline-backed node's
+//     discipline is rebuilt fresh from its factory and restored from its
+//     embedded envelope.
+func (h *Tree) RestoreState(data []byte) error {
+	if len(h.leaves) != 0 || h.total != 0 {
+		return fmt.Errorf("%w: restore into non-empty scheduler", sched.ErrBadState)
+	}
+	structured := len(h.root.children) != 0 || h.root.kind != kindSFQ
+	var st treeState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", sched.ErrBadState, err)
+	}
+	rs := &treeRestore{h: h}
+	var root *Node
+	var err error
+	if structured {
+		root = h.root
+		_, err = rs.match(&st.Root, root, nil)
+	} else {
+		root, _, err = rs.node(&st.Root, nil)
+	}
+	if err != nil {
+		return err
+	}
+	if rs.total != st.Total {
+		return fmt.Errorf("%w: hsfq total %d != %d queued packets", sched.ErrBadState, st.Total, rs.total)
+	}
+	if st.Seq < rs.maxSerial {
+		return fmt.Errorf("%w: hsfq push serial %d below max item serial %d", sched.ErrBadState, st.Seq, rs.maxSerial)
+	}
+	for i, b := range st.Bytes {
+		if i > 0 && b.Flow <= st.Bytes[i-1].Flow {
+			return fmt.Errorf("%w: hsfq bytes flow ids not ascending at %d", sched.ErrBadState, b.Flow)
+		}
+		leaf, ok := h.leaves[b.Flow]
+		if !ok {
+			return fmt.Errorf("%w: hsfq bytes for unattached flow %d", sched.ErrBadState, b.Flow)
+		}
+		queued := leaf.fifo.QueuedBytes()
+		if leaf.kind == kindLeafDisc {
+			queued = leaf.disc.QueuedBytes(b.Flow)
+		}
+		if !sched.CloseTo(b.Tag, queued) {
+			return fmt.Errorf("%w: hsfq flow %d bytes disagree with leaf FIFO", sched.ErrBadState, b.Flow)
+		}
+		h.bytes[b.Flow] = b.Tag
+	}
+	for f, leaf := range h.leaves {
+		backlogged := leaf.queued() > 0
+		if leaf.kind == kindLeafDisc {
+			backlogged = leaf.disc.QueuedBytes(f) > 0
+		}
+		if backlogged && h.bytes[f] == 0 {
+			return fmt.Errorf("%w: hsfq backlogged flow %d with no byte accounting", sched.ErrBadState, f)
+		}
+	}
+	for i, f := range st.Draining {
+		if i > 0 && f <= st.Draining[i-1] {
+			return fmt.Errorf("%w: draining flows not ascending at %d", sched.ErrBadState, f)
+		}
+		if _, ok := h.leaves[f]; !ok {
+			return fmt.Errorf("%w: draining flow %d not attached", sched.ErrBadState, f)
+		}
+	}
+	h.draining.SetFlows(st.Draining)
+	h.root = root
+	h.last, h.busy, h.total, h.seq = st.Last, st.Busy, st.Total, st.Seq
+	return nil
+}
+
+// treeRestore accumulates cross-tree restore bookkeeping.
+type treeRestore struct {
+	h         *Tree
+	total     int
+	maxSerial uint64
+}
+
+// node rebuilds one class subtree (the legacy path), returning the class
+// and whether its subtree holds any packet (to cross-check the active
+// flags, which drive the child heaps and hence the schedule).
+func (rs *treeRestore) node(st *nodeState, parent *Node) (*Node, bool, error) {
+	if st.Disc != "" || len(st.Flows) > 0 {
+		return nil, false, fmt.Errorf("%w: state has discipline node %q; restore into a tree built with a matching structure", sched.ErrBadState, st.Name)
+	}
+	if st.Weight <= 0 {
+		return nil, false, fmt.Errorf("%w: class %q weight %v", sched.ErrBadState, st.Name, st.Weight)
+	}
+	c := &Node{
+		name: st.Name, weight: st.Weight, parent: parent,
+		flow:   st.Flow,
+		active: st.Active, curStart: st.CurStart, lastFinish: st.LastFinish,
+		serial: st.Serial, heapIdx: -1,
+		v: st.V, maxFinish: st.MaxFinish, serialSrc: st.SerialSrc,
+	}
+	if st.Leaf {
+		c.kind = kindLeafFlow
+	}
+	if parent == nil && (st.Leaf || st.Active) {
+		return nil, false, fmt.Errorf("%w: root class cannot be a leaf or active", sched.ErrBadState)
+	}
+	content := false
+	if st.Leaf {
+		if len(st.Children) > 0 {
+			return nil, false, fmt.Errorf("%w: leaf class %q has children", sched.ErrBadState, st.Name)
+		}
+		if _, dup := rs.h.leaves[st.Flow]; dup {
+			return nil, false, fmt.Errorf("%w: flow %d attached twice", sched.ErrBadState, st.Flow)
+		}
+		if st.Fifo != nil {
+			if err := rs.leafFifo(st, c); err != nil {
+				return nil, false, err
+			}
+			content = true
+		}
+		rs.h.leaves[st.Flow] = c
+	} else {
+		var active []*Node
+		for i := range st.Children {
+			ch, has, err := rs.node(&st.Children[i], c)
+			if err != nil {
+				return nil, false, err
+			}
+			ch.idx = i
+			c.children = append(c.children, ch)
+			if has {
+				content = true
+			}
+			if ch.active {
+				active = append(active, ch)
+				if ch.serial > c.serialSrc {
+					return nil, false, fmt.Errorf("%w: class %q serial %d above parent source %d", sched.ErrBadState, ch.name, ch.serial, c.serialSrc)
+				}
+			}
+		}
+		if err := rebuildHeap(c, active, st.Name); err != nil {
+			return nil, false, err
+		}
+	}
+	if parent != nil && st.Active != content {
+		return nil, false, fmt.Errorf("%w: class %q active flag disagrees with subtree content", sched.ErrBadState, st.Name)
+	}
+	return c, content, nil
+}
+
+// leafFifo restores a flow leaf's FIFO and updates the serial/total
+// bookkeeping.
+func (rs *treeRestore) leafFifo(st *nodeState, c *Node) error {
+	if st.Fifo.Flow != st.Flow {
+		return fmt.Errorf("%w: leaf %q FIFO carries flow %d", sched.ErrBadState, st.Name, st.Fifo.Flow)
+	}
+	if err := c.fifo.RestoreState(&rs.h.chunks, *st.Fifo); err != nil {
+		return err
+	}
+	for _, it := range st.Fifo.Items {
+		if it.Serial > rs.maxSerial {
+			rs.maxSerial = it.Serial
+		}
+	}
+	rs.total += len(st.Fifo.Items)
+	return nil
+}
+
+// rebuildHeap pushes the active children in their (curStart, serial)
+// strict total order, validating strictness.
+func rebuildHeap(c *Node, active []*Node, name string) error {
+	sort.Slice(active, func(i, j int) bool { return childLess(active[i], active[j]) })
+	for i, ch := range active {
+		if i > 0 && !childLess(active[i-1], ch) {
+			return fmt.Errorf("%w: class %q children not in strict (curStart, serial) order", sched.ErrBadState, name)
+		}
+		c.childHeap.push(ch)
+	}
+	return nil
+}
+
+// match walks the state against an existing structured tree: structural
+// children (interiors, disc nodes, sinks) must correspond one-to-one by
+// name and kind; flow-leaf children in the state are created fresh (they
+// are dynamic — attached by AddFlow — so a fresh constructor does not
+// have them).
+func (rs *treeRestore) match(st *nodeState, c *Node, parent *Node) (bool, error) {
+	if st.Weight <= 0 {
+		return false, fmt.Errorf("%w: class %q weight %v", sched.ErrBadState, st.Name, st.Weight)
+	}
+	if st.Name != c.name {
+		return false, fmt.Errorf("%w: state class %q does not match tree class %q", sched.ErrBadState, st.Name, c.name)
+	}
+	if st.Leaf {
+		return false, fmt.Errorf("%w: state class %q is a flow leaf but tree class is structural", sched.ErrBadState, st.Name)
+	}
+	// Weights load from the state: SetClassWeight/SetWeight may have
+	// changed them since the tree was built.
+	c.weight = st.Weight
+	c.active, c.curStart, c.lastFinish = st.Active, st.CurStart, st.LastFinish
+	c.serial = st.Serial
+	c.heapIdx = -1
+	c.v, c.maxFinish, c.serialSrc = st.V, st.MaxFinish, st.SerialSrc
+
+	switch c.kind {
+	case kindDelegate:
+		return false, fmt.Errorf("core: delegate class %q does not support snapshots", c.name)
+	case kindDisc, kindLeafDisc:
+		if st.Disc != c.discName {
+			return false, fmt.Errorf("%w: state class %q discipline %q does not match tree's %q", sched.ErrBadState, st.Name, st.Disc, c.discName)
+		}
+		fresh, err := c.mkDisc()
+		if err != nil {
+			return false, err
+		}
+		snap, ok := fresh.(sched.Snapshotter)
+		if !ok {
+			return false, fmt.Errorf("%w: class %q discipline %q does not support snapshots", sched.ErrBadState, c.name, c.discName)
+		}
+		if len(st.Env) == 0 {
+			return false, fmt.Errorf("%w: class %q has no discipline envelope", sched.ErrBadState, st.Name)
+		}
+		if err := liveops.Restore(st.Env, snap); err != nil {
+			return false, fmt.Errorf("hier: class %q: %w", c.name, err)
+		}
+		c.disc = fresh
+		c.poolOK = c.kind == kindDisc && sched.PoolSafeScheduler(fresh)
+	default:
+		if st.Disc != "" {
+			return false, fmt.Errorf("%w: state class %q has discipline %q but tree class is a native interior", sched.ErrBadState, st.Name, st.Disc)
+		}
+	}
+
+	content := false
+	switch c.kind {
+	case kindLeafDisc:
+		if len(st.Children) > 0 {
+			return false, fmt.Errorf("%w: sink class %q has children", sched.ErrBadState, st.Name)
+		}
+		n := c.disc.Len()
+		rs.total += n
+		content = n > 0
+		for i, f := range st.Flows {
+			if i > 0 && f <= st.Flows[i-1] {
+				return false, fmt.Errorf("%w: sink %q flow ids not ascending at %d", sched.ErrBadState, st.Name, f)
+			}
+			if _, dup := rs.h.leaves[f]; dup {
+				return false, fmt.Errorf("%w: flow %d attached twice", sched.ErrBadState, f)
+			}
+			rs.h.leaves[f] = c
+		}
+	case kindDisc, kindSFQ:
+		if len(st.Children) < len(c.children) {
+			return false, fmt.Errorf("%w: class %q has %d children in state, tree has %d", sched.ErrBadState, st.Name, len(st.Children), len(c.children))
+		}
+		var active []*Node
+		for i := range st.Children {
+			cs := &st.Children[i]
+			var ch *Node
+			if i < len(c.children) {
+				ch = c.children[i]
+				has, err := rs.match(cs, ch, c)
+				if err != nil {
+					return false, err
+				}
+				if has {
+					content = true
+				}
+			} else {
+				// Trailing flow leaves are dynamic: create them.
+				if !cs.Leaf {
+					return false, fmt.Errorf("%w: class %q has structural child %q beyond the tree's structure", sched.ErrBadState, st.Name, cs.Name)
+				}
+				var has bool
+				var err error
+				ch, has, err = rs.node(cs, c)
+				if err != nil {
+					return false, err
+				}
+				ch.idx = i
+				c.children = append(c.children, ch)
+				if has {
+					content = true
+				}
+			}
+			if c.kind == kindSFQ && ch.active {
+				active = append(active, ch)
+				if ch.serial > c.serialSrc {
+					return false, fmt.Errorf("%w: class %q serial %d above parent source %d", sched.ErrBadState, ch.name, ch.serial, c.serialSrc)
+				}
+			}
+		}
+		if c.kind == kindSFQ {
+			if err := rebuildHeap(c, active, st.Name); err != nil {
+				return false, err
+			}
+		} else if n := subtreeCount(c); n != c.disc.Len() {
+			return false, fmt.Errorf("%w: interior %q pseudo backlog %d != %d subtree packets", sched.ErrBadState, st.Name, c.disc.Len(), n)
+		}
+	}
+	if parent != nil && parent.kind == kindSFQ && st.Active != content {
+		return false, fmt.Errorf("%w: class %q active flag disagrees with subtree content", sched.ErrBadState, st.Name)
+	}
+	return content, nil
+}
+
+// subtreeCount counts the real packets queued below c (flow-leaf FIFOs
+// and sink disciplines).
+func subtreeCount(c *Node) int {
+	switch c.kind {
+	case kindLeafFlow:
+		return c.queued()
+	case kindLeafDisc, kindDelegate:
+		return c.disc.Len()
+	}
+	n := 0
+	for _, ch := range c.children {
+		n += subtreeCount(ch)
+	}
+	return n
+}
+
+// VisitQueued visits queued packets: flows ascending, FIFO within a flow.
+// Flows routed into sink classes are visited through the sink discipline's
+// own canonical order, filtered per flow; delegate flows are skipped (the
+// inner scheduler is externally owned).
+func (h *Tree) VisitQueued(fn func(*Packet)) {
+	ids := make([]int, 0, len(h.leaves))
+	for f, c := range h.leaves {
+		switch c.kind {
+		case kindLeafFlow:
+			if c.queued() > 0 {
+				ids = append(ids, f)
+			}
+		case kindLeafDisc:
+			if c.disc.QueuedBytes(f) > 0 {
+				ids = append(ids, f)
+			}
+		}
+	}
+	sort.Ints(ids)
+	for _, f := range ids {
+		c := h.leaves[f]
+		if c.kind == kindLeafFlow {
+			c.fifo.VisitQueued(fn)
+			continue
+		}
+		snap, ok := c.disc.(sched.Snapshotter)
+		if !ok {
+			continue
+		}
+		snap.VisitQueued(func(p *Packet) {
+			if p.Flow == f {
+				fn(p)
+			}
+		})
+	}
+}

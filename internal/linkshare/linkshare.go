@@ -1,9 +1,9 @@
 // Package linkshare provides a declarative façade over the hierarchical
-// SFQ scheduler: a link-sharing structure (§3) is described as a tree of
-// named classes with weights and flow leaves, validated, and compiled into
-// a core.HSFQ. It also computes the per-class FC parameters implied by the
-// eq (65) recursion so callers can derive throughput and delay bounds for
-// any class in the tree.
+// scheduler tree: a link-sharing structure (§3) is described as a tree of
+// named classes with weights, disciplines, and flow leaves, validated,
+// and compiled into a core.HSFQ (a hier tree). It also computes the
+// per-class FC parameters implied by the eq (65) recursion so callers can
+// derive throughput and delay bounds for any class in the tree.
 package linkshare
 
 import (
@@ -12,18 +12,32 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/qos"
+	"repro/internal/sched"
 	"repro/internal/server"
 )
 
 // Spec describes a class in the link-sharing structure. Exactly one of
 // Children or Flow is used: interior classes list children; leaf classes
-// name a flow.
+// name a flow. Disc additionally puts a registered discipline at the
+// class (see below), so a spec compiles to an arbitrary hier tree — e.g.
+// an SFQ root over DRR and EDD subtrees, or WiMAX-style UGS/rtPS/nrtPS/BE
+// service classes each running its own discipline.
 type Spec struct {
 	Name     string
 	Weight   float64
 	Children []Spec
 	Flow     int
 	IsFlow   bool
+
+	// Disc names a registered scheduling discipline for this class:
+	//   - with no children (or only flow-leaf children), the class is a
+	//     sink — the discipline schedules the class's real flows;
+	//   - with scheduler children, the class is a discipline interior —
+	//     the discipline schedules the children as pseudo-flows ("sfq"
+	//     selects the native Section 3 interior).
+	// Empty means a native SFQ interior (the classic HSFQ class). The
+	// root class must remain an SFQ interior: it represents the link.
+	Disc string
 
 	// LMax is the maximum packet length of the subtree (bytes), used only
 	// by the bound computation; 0 inherits the tree default.
@@ -46,15 +60,35 @@ type Tree struct {
 	Sched  *core.HSFQ
 	Root   *Class
 	byName map[string]*Class
+	cfg    sched.Config
 }
 
 // ErrDuplicateName reports two classes sharing a name.
 var ErrDuplicateName = errors.New("linkshare: duplicate class name")
 
-// Build validates and compiles a specification. The root spec's weight is
-// ignored (the root owns the whole link).
-func Build(root Spec) (*Tree, error) {
-	t := &Tree{Sched: core.NewHSFQ(), byName: make(map[string]*Class)}
+// ErrEmptyTree reports a specification with no classes under the root: a
+// link-sharing structure with nothing to share is a configuration bug,
+// not a degenerate tree.
+var ErrEmptyTree = errors.New("linkshare: empty tree")
+
+// Build validates and compiles a specification with a zero scheduler
+// Config. The root spec's weight is ignored (the root owns the whole
+// link).
+func Build(root Spec) (*Tree, error) { return BuildConfig(root, sched.Config{}) }
+
+// BuildConfig is Build with an explicit Config handed to every Disc
+// class's discipline constructor (e.g. a Quantum for DRR sinks).
+func BuildConfig(root Spec, cfg sched.Config) (*Tree, error) {
+	if root.IsFlow {
+		return nil, fmt.Errorf("linkshare: root class cannot be a flow")
+	}
+	if root.Disc != "" && root.Disc != "sfq" {
+		return nil, fmt.Errorf("linkshare: root class must be an SFQ interior, not %q", root.Disc)
+	}
+	if len(root.Children) == 0 {
+		return nil, ErrEmptyTree
+	}
+	t := &Tree{Sched: core.NewHSFQ(), byName: make(map[string]*Class), cfg: cfg}
 	rootClass := &Class{Spec: root, Node: t.Sched.Root()}
 	t.Root = rootClass
 	if root.Name == "" {
@@ -79,26 +113,57 @@ func (t *Tree) build(parent *Class, s Spec) error {
 	if s.IsFlow && len(s.Children) > 0 {
 		return fmt.Errorf("linkshare: class %q is both a flow and an aggregate", s.Name)
 	}
+	if s.IsFlow && s.Disc != "" {
+		return fmt.Errorf("linkshare: flow class %q cannot carry a discipline", s.Name)
+	}
 	c := &Class{Spec: s}
-	if s.IsFlow {
+	switch {
+	case s.IsFlow:
 		if err := t.Sched.AddFlowTo(parent.Node, s.Flow, s.Weight); err != nil {
 			return err
 		}
-	} else {
+	case s.Disc != "" && s.Disc != "sfq" && !hasSchedulerChildren(s):
+		// Sink: the discipline schedules the class's real flows. Flow
+		// children are routed into it; more may attach later via the
+		// scheduler's AddFlow routing.
+		node, err := t.Sched.NewSinkClass(parent.Node, s.Name, s.Weight, s.Disc, t.cfg)
+		if err != nil {
+			return err
+		}
+		c.Node = node
+	case s.Disc != "" && s.Disc != "sfq":
+		node, err := t.Sched.NewDiscClass(parent.Node, s.Name, s.Weight, s.Disc, t.cfg)
+		if err != nil {
+			return err
+		}
+		c.Node = node
+	default:
 		node, err := t.Sched.NewClass(parent.Node, s.Name, s.Weight)
 		if err != nil {
 			return err
 		}
 		c.Node = node
-		for _, ch := range s.Children {
-			if err := t.build(c, ch); err != nil {
-				return err
-			}
+	}
+	for _, ch := range s.Children {
+		if err := t.build(c, ch); err != nil {
+			return err
 		}
 	}
 	parent.children = append(parent.children, c)
 	t.byName[s.Name] = c
 	return nil
+}
+
+// hasSchedulerChildren reports whether s has any non-flow child — the
+// discriminator between a discipline interior (children are classes) and
+// a sink with pre-routed flow leaves.
+func hasSchedulerChildren(s Spec) bool {
+	for _, ch := range s.Children {
+		if !ch.IsFlow {
+			return true
+		}
+	}
+	return false
 }
 
 // Lookup returns the class with the given name, or nil.

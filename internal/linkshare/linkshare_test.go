@@ -1,10 +1,13 @@
 package linkshare_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/linkshare"
 	"repro/internal/qos"
+	"repro/internal/sched"
 	"repro/internal/schedtest"
 	"repro/internal/server"
 )
@@ -39,26 +42,151 @@ func TestBuildAndLookup(t *testing.T) {
 	}
 }
 
+// TestBuildValidation pins the exact error every malformed Spec produces,
+// sentinel and message both: the errors are part of the package's API (a
+// misconfigured link-sharing structure should fail loudly and precisely),
+// and a reworded message is an API change that should show up here.
 func TestBuildValidation(t *testing.T) {
-	dup := linkshare.Spec{Children: []linkshare.Spec{
-		{Name: "x", Weight: 1, IsFlow: true, Flow: 1},
-		{Name: "x", Weight: 1, IsFlow: true, Flow: 2},
-	}}
-	if _, err := linkshare.Build(dup); err == nil {
-		t.Error("duplicate names accepted")
+	cases := []struct {
+		name     string
+		spec     linkshare.Spec
+		sentinel error // errors.Is target, nil to skip
+		want     string
+	}{
+		{
+			name: "duplicate names",
+			spec: linkshare.Spec{Children: []linkshare.Spec{
+				{Name: "x", Weight: 1, IsFlow: true, Flow: 1},
+				{Name: "x", Weight: 1, IsFlow: true, Flow: 2},
+			}},
+			sentinel: linkshare.ErrDuplicateName,
+			want:     `linkshare: duplicate class name: "x"`,
+		},
+		{
+			name: "flow leaf with children",
+			spec: linkshare.Spec{Children: []linkshare.Spec{
+				{Name: "y", Weight: 1, IsFlow: true, Flow: 1,
+					Children: []linkshare.Spec{{Name: "z", Weight: 1, IsFlow: true, Flow: 2}}},
+			}},
+			want: `linkshare: class "y" is both a flow and an aggregate`,
+		},
+		{
+			name: "zero flow weight",
+			spec: linkshare.Spec{Children: []linkshare.Spec{
+				{Name: "w", Weight: 0, IsFlow: true, Flow: 1},
+			}},
+			sentinel: sched.ErrBadWeight,
+			want:     `sched: weight must be positive: flow 1 weight 0`,
+		},
+		{
+			name: "negative class weight",
+			spec: linkshare.Spec{Children: []linkshare.Spec{
+				{Name: "agg", Weight: -2, Children: []linkshare.Spec{
+					{Name: "f", Weight: 1, IsFlow: true, Flow: 1},
+				}},
+			}},
+			sentinel: sched.ErrBadWeight,
+			want:     `sched: weight must be positive: class "agg" weight -2`,
+		},
+		{
+			name:     "empty tree",
+			spec:     linkshare.Spec{Name: "root"},
+			sentinel: linkshare.ErrEmptyTree,
+			want:     `linkshare: empty tree`,
+		},
+		{
+			name: "root as flow",
+			spec: linkshare.Spec{Name: "root", IsFlow: true, Flow: 1},
+			want: `linkshare: root class cannot be a flow`,
+		},
+		{
+			name: "root with foreign discipline",
+			spec: linkshare.Spec{Name: "root", Disc: "drr", Children: []linkshare.Spec{
+				{Name: "f", Weight: 1, IsFlow: true, Flow: 1},
+			}},
+			want: `linkshare: root class must be an SFQ interior, not "drr"`,
+		},
+		{
+			name: "flow leaf with discipline",
+			spec: linkshare.Spec{Children: []linkshare.Spec{
+				{Name: "f", Weight: 1, IsFlow: true, Flow: 1, Disc: "drr"},
+			}},
+			want: `linkshare: flow class "f" cannot carry a discipline`,
+		},
 	}
-	both := linkshare.Spec{Children: []linkshare.Spec{
-		{Name: "y", Weight: 1, IsFlow: true, Flow: 1,
-			Children: []linkshare.Spec{{Name: "z", Weight: 1, IsFlow: true, Flow: 2}}},
-	}}
-	if _, err := linkshare.Build(both); err == nil {
-		t.Error("flow-with-children accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := linkshare.Build(tc.spec)
+			if err == nil {
+				t.Fatal("malformed spec accepted")
+			}
+			if tc.sentinel != nil && !errors.Is(err, tc.sentinel) {
+				t.Errorf("errors.Is(%v, %v) = false", err, tc.sentinel)
+			}
+			if err.Error() != tc.want {
+				t.Errorf("error = %q, want %q", err, tc.want)
+			}
+		})
 	}
-	badWeight := linkshare.Spec{Children: []linkshare.Spec{
-		{Name: "w", Weight: 0, IsFlow: true, Flow: 1},
-	}}
-	if _, err := linkshare.Build(badWeight); err == nil {
-		t.Error("zero weight accepted")
+
+	// An unknown Disc surfaces the registry's ErrBadConfig; the message
+	// carries the full known-name list, so pin sentinel + prefix only.
+	_, err := linkshare.Build(linkshare.Spec{Children: []linkshare.Spec{
+		{Name: "s", Weight: 1, Disc: "nope"},
+	}})
+	if !errors.Is(err, sched.ErrBadConfig) {
+		t.Errorf("unknown disc: errors.Is(%v, ErrBadConfig) = false", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), `unknown scheduler "nope"`) {
+		t.Errorf("unknown disc error = %v", err)
+	}
+}
+
+// TestComposedTreeSchedules compiles an SFQ root over a DRR sink and an
+// EDD sink — the heterogeneous-tree path the Disc field adds — and checks
+// that the top-level weights still carve the link 2:1 while each sink's
+// own discipline serves the flows routed into it.
+func TestComposedTreeSchedules(t *testing.T) {
+	spec := linkshare.Spec{
+		Name: "root",
+		Children: []linkshare.Spec{
+			{Name: "bulk", Weight: 2, Disc: "drr", Children: []linkshare.Spec{
+				{Name: "b1", Weight: 1, IsFlow: true, Flow: 1},
+				{Name: "b2", Weight: 1, IsFlow: true, Flow: 2},
+			}},
+			{Name: "rt", Weight: 1, Disc: "edd", Children: []linkshare.Spec{
+				{Name: "r1", Weight: 1, IsFlow: true, Flow: 3},
+			}},
+		},
+	}
+	tree, err := linkshare.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Lookup("bulk") == nil || tree.Lookup("rt") == nil {
+		t.Fatal("lookup failed")
+	}
+	var arr []schedtest.Arrival
+	for i := 0; i < 90; i++ {
+		for _, f := range []int{1, 2, 3} {
+			arr = append(arr, schedtest.Arrival{At: 0, Flow: f, Bytes: 100})
+		}
+	}
+	res := schedtest.Drive(tree.Sched, server.NewConstantRate(1000), arr)
+	end := res.Mon.BackloggedIntervals(3)[0].End
+	w1 := res.Mon.ServiceCurve(1).Delta(0, end)
+	w2 := res.Mon.ServiceCurve(2).Delta(0, end)
+	w3 := res.Mon.ServiceCurve(3).Delta(0, end)
+	tot := w1 + w2 + w3
+	// bulk gets 2/3 of the link, split evenly by DRR; rt gets 1/3.
+	if f := (w1 + w2) / tot; f < 0.61 || f > 0.72 {
+		t.Errorf("bulk share %v, want ≈ 2/3", f)
+	}
+	if f := w3 / tot; f < 0.28 || f > 0.39 {
+		t.Errorf("rt share %v, want ≈ 1/3", f)
+	}
+	if f := w1 / (w1 + w2); f < 0.45 || f > 0.55 {
+		t.Errorf("DRR split %v, want ≈ 0.5", f)
 	}
 }
 

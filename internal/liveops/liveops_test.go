@@ -1,4 +1,4 @@
-package liveops
+package liveops_test
 
 import (
 	"bytes"
@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/liveops"
 	"repro/internal/sched"
 
 	_ "repro/internal/core" // register sfq/hsfq
@@ -69,17 +70,17 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 			drive(t, src, 200)
 			snap := src.(sched.Snapshotter)
 
-			data, err := Snapshot(snap)
+			data, err := liveops.Snapshot(snap)
 			if err != nil {
 				t.Fatalf("Snapshot: %v", err)
 			}
-			restored, err := Clone(snap, func() sched.Interface { return mkNamed(t, name) })
+			restored, err := liveops.Clone(snap, func() sched.Interface { return mkNamed(t, name) })
 			if err != nil {
 				t.Fatalf("Clone: %v", err)
 			}
 
 			// Marshal → Restore → Marshal is a fixed point.
-			again, err := Snapshot(restored.(sched.Snapshotter))
+			again, err := liveops.Snapshot(restored.(sched.Snapshotter))
 			if err != nil {
 				t.Fatalf("re-Snapshot: %v", err)
 			}
@@ -102,13 +103,13 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 func TestRestoreRejects(t *testing.T) {
 	src := sched.NewSCFQ()
 	drive(t, src, 100)
-	data, err := Snapshot(src)
+	data, err := liveops.Snapshot(src)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	t.Run("kind mismatch", func(t *testing.T) {
-		if err := Restore(data, sched.NewVirtualClock()); !errors.Is(err, sched.ErrBadState) {
+		if err := liveops.Restore(data, sched.NewVirtualClock()); !errors.Is(err, sched.ErrBadState) {
 			t.Fatalf("want ErrBadState, got %v", err)
 		}
 	})
@@ -117,20 +118,20 @@ func TestRestoreRejects(t *testing.T) {
 		if bytes.Equal(bad, data) {
 			t.Fatal("mutation did not apply")
 		}
-		if err := Restore(bad, sched.NewSCFQ()); !errors.Is(err, sched.ErrBadState) {
+		if err := liveops.Restore(bad, sched.NewSCFQ()); !errors.Is(err, sched.ErrBadState) {
 			t.Fatalf("want ErrBadState, got %v", err)
 		}
 	})
 	t.Run("version mismatch", func(t *testing.T) {
 		bad := bytes.Replace(data, []byte(`"version":1`), []byte(`"version":9`), 1)
-		if err := Restore(bad, sched.NewSCFQ()); !errors.Is(err, sched.ErrBadState) {
+		if err := liveops.Restore(bad, sched.NewSCFQ()); !errors.Is(err, sched.ErrBadState) {
 			t.Fatalf("want ErrBadState, got %v", err)
 		}
 	})
 	t.Run("non-empty target", func(t *testing.T) {
 		busy := sched.NewSCFQ()
 		drive(t, busy, 50)
-		if err := Restore(data, busy); !errors.Is(err, sched.ErrBadState) {
+		if err := liveops.Restore(data, busy); !errors.Is(err, sched.ErrBadState) {
 			t.Fatalf("want ErrBadState, got %v", err)
 		}
 	})
@@ -147,7 +148,7 @@ func TestPayloadSidecar(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	restored, err := Clone(src, func() sched.Interface { return sched.NewSCFQ() })
+	restored, err := liveops.Clone(src, func() sched.Interface { return sched.NewSCFQ() })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,9 +169,9 @@ func TestSwapperSnapshotRestoreTransparent(t *testing.T) {
 	want := popAll(baseline)
 
 	for _, atOp := range []uint64{1, 17, 50, 149} {
-		sw := NewSwapper(sched.NewSCFQ(), Action{
+		sw := liveops.NewSwapper(sched.NewSCFQ(), liveops.Action{
 			AtOp: atOp,
-			Do:   SnapshotRestore(func() sched.Interface { return sched.NewSCFQ() }),
+			Do:   liveops.SnapshotRestore(func() sched.Interface { return sched.NewSCFQ() }),
 		})
 		drive(t, sw, 200)
 		if sw.Err != nil {
@@ -195,7 +196,7 @@ func TestHotSwapConserves(t *testing.T) {
 	}
 
 	dst := mkNamed(t, "lstf")
-	moved, err := HotSwap(1e5, src, dst)
+	moved, err := liveops.HotSwap(1e5, src, dst)
 	if err != nil {
 		t.Fatalf("HotSwap: %v", err)
 	}

@@ -31,7 +31,22 @@ type Admitter struct {
 	maxQueued int
 	seq       int64
 	closed    bool
+
+	// Dead-ticket compaction: canceled counts tickets in state tCanceled
+	// still holding queue slots; once it reaches compactAt, the canceling
+	// Wait pops the fair queue's head until it meets a live ticket, which
+	// is staged (served ahead of the queue on the next dispatch, keeping
+	// fair order) while the dead prefix is dropped.
+	canceled  int
+	staged    *Ticket
+	compactAt int
 }
+
+// defaultCompactThreshold is the canceled-ticket count that triggers
+// compaction when AdmitterConfig.CompactThreshold is 0: high enough that
+// sporadic cancels stay O(1), low enough that a cancel storm cannot hold
+// more than a handful of MaxQueued slots hostage.
+const defaultCompactThreshold = 16
 
 // AdmitterConfig configures NewAdmitter.
 type AdmitterConfig struct {
@@ -45,11 +60,20 @@ type AdmitterConfig struct {
 	Limit int
 
 	// MaxQueued bounds the requests waiting for a seat; a Submit beyond
-	// the bound sheds with ErrShedding. 0 means unbounded. Canceled
-	// requests keep their slot until dispatch pops them (see Ticket.Wait),
-	// so under long seat holds a cancel storm can fill the bound with dead
-	// tickets — size MaxQueued for that worst case.
+	// the bound sheds with ErrShedding. 0 means unbounded. A canceled
+	// request keeps its slot until dispatch pops it or the canceled count
+	// reaches CompactThreshold and compaction drops the queue's dead
+	// prefix — size MaxQueued with roughly CompactThreshold slots of
+	// headroom for in-flight cancels.
 	MaxQueued int
+
+	// CompactThreshold is the number of canceled-but-still-queued tickets
+	// that triggers opportunistic compaction on the next cancel (dead
+	// tickets at the head of the fair queue are dropped without waiting
+	// for a seat to free). 0 means the default (16); negative values are
+	// an ErrBadConfig. Compaction preserves fair order: the first live
+	// ticket found is staged and dispatched before anything else.
+	CompactThreshold int
 
 	// Controller, when non-nil, is the reservation controller AdmitFlow /
 	// ReleaseFlow run requests through.
@@ -86,7 +110,17 @@ func NewAdmitter(cfg AdmitterConfig) (*Admitter, error) {
 	if cfg.MaxQueued < 0 {
 		return nil, fmt.Errorf("%w: admitter max queued %d must be >= 0", sched.ErrBadConfig, cfg.MaxQueued)
 	}
-	return &Admitter{rt: cfg.Runtime, ctrl: cfg.Controller, limit: cfg.Limit, maxQueued: cfg.MaxQueued}, nil
+	if cfg.CompactThreshold < 0 {
+		return nil, fmt.Errorf("%w: admitter compact threshold %d must be >= 0", sched.ErrBadConfig, cfg.CompactThreshold)
+	}
+	compactAt := cfg.CompactThreshold
+	if compactAt == 0 {
+		compactAt = defaultCompactThreshold
+	}
+	return &Admitter{
+		rt: cfg.Runtime, ctrl: cfg.Controller,
+		limit: cfg.Limit, maxQueued: cfg.MaxQueued, compactAt: compactAt,
+	}, nil
 }
 
 // Runtime returns the underlying fair-queue runtime (e.g. to attach an
@@ -221,25 +255,29 @@ func (a *Admitter) Close() error {
 // dispatchLocked fills free seats from the fair queue. Canceled tickets
 // pop and vanish without consuming a seat (their cost was charged to the
 // flow's virtual time when queued — the price of O(1) cancellation in a
-// tag-ordered queue; see DESIGN.md §16). Until this pop they also keep
-// occupying their queue slot: cancellation never compacts the queue, so a
-// canceled ticket counts against MaxQueued and its flow's QueuedBytes
-// until a seat frees and dispatch reaches it. Packets enqueued on the
-// runtime directly (not via Submit) carry no Ticket; dispatch drains and
-// discards them — see Runtime.
+// tag-ordered queue; see DESIGN.md §16). A ticket staged by compaction is
+// served before the queue — it was popped first in fair order. Packets
+// enqueued on the runtime directly (not via Submit) carry no Ticket;
+// dispatch drains and discards them — see Runtime.
 func (a *Admitter) dispatchLocked() {
 	for a.executing < a.limit && a.queued > 0 {
-		p, ok := a.rt.Dequeue()
-		if !ok {
-			return
-		}
-		t, isTicket := p.Payload.(*Ticket)
-		if !isTicket {
-			continue // foreign packet: no seat, no queued slot to release
+		var t *Ticket
+		if a.staged != nil {
+			t, a.staged = a.staged, nil
+		} else {
+			p, ok := a.rt.Dequeue()
+			if !ok {
+				return
+			}
+			var isTicket bool
+			if t, isTicket = p.Payload.(*Ticket); !isTicket {
+				continue // foreign packet: no seat, no queued slot to release
+			}
 		}
 		a.queued--
 		if !t.state.CompareAndSwap(tQueued, tDispatched) {
-			continue // canceled while waiting
+			a.canceled-- // canceled while waiting (possibly while staged)
+			continue
 		}
 		a.seq++
 		t.seq.Store(a.seq)
@@ -248,13 +286,44 @@ func (a *Admitter) dispatchLocked() {
 	}
 }
 
+// compactLocked drops dead tickets from the head of the fair queue once
+// enough have accumulated: when the canceled backlog reaches the
+// threshold, the queue's dead prefix is popped and discarded up to the
+// first live ticket, which is staged for the next dispatch — so
+// compaction can never reorder service. Dead tickets behind the staged
+// one stay queued (accounted in a.canceled) until dispatch pops past
+// them or a later compaction, after the staged ticket drains, resumes.
+func (a *Admitter) compactLocked() {
+	if a.staged != nil || a.canceled < a.compactAt {
+		return
+	}
+	for a.staged == nil && a.canceled > 0 {
+		p, ok := a.rt.Dequeue()
+		if !ok {
+			return
+		}
+		t, isTicket := p.Payload.(*Ticket)
+		if !isTicket {
+			continue
+		}
+		if t.state.Load() == tCanceled {
+			a.queued--
+			a.canceled--
+			continue
+		}
+		a.staged = t
+	}
+}
+
 // Wait blocks until the ticket is dispatched or ctx expires. On expiry
 // the ticket is canceled if still queued; if dispatch won the race the
-// seat is released again, so no capacity leaks. Cancellation is O(1) and
-// leaves the dead ticket in the fair queue: its cost stays charged to the
-// flow's virtual time, and it keeps its MaxQueued slot and its flow's
-// QueuedBytes (so ReleaseFlow reports ErrFlowBusy) until a free seat lets
-// dispatch pop past it.
+// seat is released again, so no capacity leaks. Cancellation is O(1) in
+// the common case and leaves the dead ticket in the fair queue: its cost
+// stays charged to the flow's virtual time, and it keeps its MaxQueued
+// slot and its flow's QueuedBytes (so ReleaseFlow reports ErrFlowBusy)
+// until dispatch pops past it — or until enough cancels accumulate that
+// this one triggers compaction (see AdmitterConfig.CompactThreshold) and
+// the dead head of the queue is dropped immediately.
 func (t *Ticket) Wait(ctx context.Context) error {
 	select {
 	case <-t.ready:
@@ -262,6 +331,11 @@ func (t *Ticket) Wait(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	if t.state.CompareAndSwap(tQueued, tCanceled) {
+		a := t.a
+		a.mu.Lock()
+		a.canceled++
+		a.compactLocked()
+		a.mu.Unlock()
 		return ctx.Err()
 	}
 	// Dispatch won the race: the caller is abandoning an admitted

@@ -35,6 +35,7 @@ func TestAdmitterConfigValidation(t *testing.T) {
 		{Runtime: r, Limit: 0},
 		{Runtime: r, Limit: -3},
 		{Runtime: r, Limit: 1, MaxQueued: -1},
+		{Runtime: r, Limit: 1, CompactThreshold: -1},
 	} {
 		if _, err := rt.NewAdmitter(cfg); !errors.Is(err, sched.ErrBadConfig) {
 			t.Errorf("NewAdmitter(%+v) = %v, want ErrBadConfig", cfg, err)
@@ -202,6 +203,138 @@ func TestAdmitterCancelAndFinish(t *testing.T) {
 	}
 	if err := tk2.Finish(); !errors.Is(err, sched.ErrBadState) {
 		t.Fatalf("double finish: %v", err)
+	}
+}
+
+// TestAdmitterCancelCompaction is the regression test for dead-ticket
+// compaction: before it, canceled tickets kept their MaxQueued slots (and
+// their flows' QueuedBytes) until a seat freed and dispatch popped past
+// them, so a cancel storm under a long seat hold could wedge intake. Now
+// the cancel that brings the canceled backlog to CompactThreshold drops
+// the queue's dead prefix immediately — no seat movement required — and
+// fair order is preserved via the staged live ticket.
+func TestAdmitterCancelCompaction(t *testing.T) {
+	clock := &sched.ManualClock{}
+	a := newAdmitter(t, rt.AdmitterConfig{Limit: 1, MaxQueued: 5, CompactThreshold: 3},
+		sched.WithClock(clock))
+	if err := a.AdmitFlow(admission.Request{Flow: 1, Rate: 1, LMax: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetLimit(0); err != nil { // no seats: nothing can dispatch
+		t.Fatal(err)
+	}
+	tickets := make([]*rt.Ticket, 5)
+	for i := range tickets {
+		tk, err := a.Submit(1, 1)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// Two cancels stay below the threshold: slots remain occupied.
+	for i := 0; i < 2; i++ {
+		if err := tickets[i].Wait(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel %d: %v", i, err)
+		}
+	}
+	if got := a.Queued(); got != 5 {
+		t.Fatalf("Queued = %d before threshold, want 5", got)
+	}
+	if _, err := a.Submit(1, 1); !errors.Is(err, sched.ErrShedding) {
+		t.Fatalf("submit with dead tickets below threshold: %v", err)
+	}
+
+	// The third cancel reaches the threshold: the dead prefix (tickets
+	// 0-2) is dropped with no seat movement, freeing their slots.
+	if err := tickets[2].Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatal("cancel 2")
+	}
+	if got := a.Queued(); got != 2 {
+		t.Fatalf("Queued = %d after compaction, want 2", got)
+	}
+	extra, err := a.Submit(1, 1) // the freed slots accept new work again
+	if err != nil {
+		t.Fatalf("submit after compaction: %v", err)
+	}
+
+	// Fair order survives: dispatch serves 3, 4, then the late submit.
+	if err := a.SetLimit(1); err != nil {
+		t.Fatal(err)
+	}
+	for i, tk := range []*rt.Ticket{tickets[3], tickets[4], extra} {
+		if err := tk.Wait(context.Background()); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if !tk.Running() {
+			t.Fatalf("ticket %d dispatched out of order", i)
+		}
+		if err := tk.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Executing() != 0 || a.Queued() != 0 {
+		t.Fatalf("executing/queued = %d/%d after drain", a.Executing(), a.Queued())
+	}
+}
+
+// TestAdmitterCompactionStagesLiveHead covers the staged path: when the
+// queue's head is live at compaction time, it is popped and parked, and
+// the next dispatch must serve it first (fair order), even though the
+// dead tickets behind it could not be dropped yet.
+func TestAdmitterCompactionStagesLiveHead(t *testing.T) {
+	clock := &sched.ManualClock{}
+	a := newAdmitter(t, rt.AdmitterConfig{Limit: 1, CompactThreshold: 2}, sched.WithClock(clock))
+	if err := a.AdmitFlow(admission.Request{Flow: 1, Rate: 1, LMax: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetLimit(0); err != nil {
+		t.Fatal(err)
+	}
+	tickets := make([]*rt.Ticket, 4)
+	for i := range tickets {
+		tk, err := a.Submit(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Cancel tickets 1 and 2 — the head (0) stays live, so compaction
+	// stages it and leaves the dead pair queued behind it.
+	for _, i := range []int{1, 2} {
+		if err := tickets[i].Wait(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel %d", i)
+		}
+	}
+	if got := a.Queued(); got != 4 {
+		t.Fatalf("Queued = %d with live head staged, want 4", got)
+	}
+	if err := a.SetLimit(1); err != nil {
+		t.Fatal(err)
+	}
+	// Ticket 0 (staged) must hold the seat; the dead pair popped and
+	// vanished on the way to 3.
+	if err := tickets[0].Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !tickets[0].Running() {
+		t.Fatal("staged ticket not dispatched first")
+	}
+	if err := tickets[0].Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tickets[3].Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tickets[3].Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Executing() != 0 || a.Queued() != 0 {
+		t.Fatalf("executing/queued = %d/%d after drain", a.Executing(), a.Queued())
 	}
 }
 

@@ -22,7 +22,10 @@ import (
 func TestRegistryNamePin(t *testing.T) {
 	want := []string{
 		"drr", "edd", "fa", "fairairport", "fifo", "fifo+", "fifoplus",
-		"flowsfq", "fqs", "hsfq", "lstf", "pifo-edd", "pifo-scfq",
+		"flowsfq", "fqs",
+		"hier:pifo-sfq(pifo-sfq,pifo-sfq)", "hier:sfq(drr,edd)",
+		"hier:sfq(edd,scfq,drr,fifo)",
+		"hsfq", "lstf", "pifo-edd", "pifo-scfq",
 		"pifo-sfq", "pifo-vclock", "pifo-wfq", "priority", "priority-scfq",
 		"scfq", "sfq", "sfq-lowweight", "srpt", "vc", "vclock", "wfq",
 	}

@@ -59,6 +59,12 @@ type Config struct {
 	// Shards > 1 without a Clock is rejected with ErrBadConfig, as is a
 	// negative count.
 	Shards int
+
+	// Tree is a hierarchical composition spec for the "hier" scheduler —
+	// the internal/hier grammar, e.g. "sfq(drr*2,edd)". Disciplines other
+	// than the tree layer ignore it; composed names like
+	// "hier:sfq(drr,edd)" carry the spec in the name instead.
+	Tree string
 }
 
 // DefaultQuantum is the DRR quantum per unit weight used when Config.Quantum
@@ -89,6 +95,10 @@ func WithClock(c Clock) Option { return func(cfg *Config) { cfg.Clock = c } }
 // WithShards sets the number of hashed per-core shards for runtime-driven
 // construction (see Config.Shards).
 func WithShards(n int) Option { return func(cfg *Config) { cfg.Shards = n } }
+
+// WithTree sets the hierarchical composition spec for the "hier"
+// scheduler (see Config.Tree).
+func WithTree(spec string) Option { return func(cfg *Config) { cfg.Tree = spec } }
 
 // Factory constructs a scheduler from a Config. Factories validate the
 // fields they consume and return an error (never panic) on a bad Config.
@@ -188,13 +198,40 @@ func New(name string, opts ...Option) (Interface, error) {
 	return NewDiscipline(name, cfg)
 }
 
+// Fallback resolves a name no registered factory matched, or returns
+// (nil, false) to decline. internal/hier registers the only implementation:
+// it accepts the open-ended composed-name family ("hier", "hier:<spec>")
+// that cannot be enumerated in the registry map.
+type Fallback func(name string, cfg Config) (Factory, bool)
+
+var fallback Fallback
+
+// RegisterFallback installs the resolver NewDiscipline consults for names
+// the registry map does not contain. Calling it twice panics, like a
+// duplicate discipline registration.
+func RegisterFallback(fb Fallback) {
+	if fb == nil {
+		panic("sched: RegisterFallback with nil fallback")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if fallback != nil {
+		panic("sched: duplicate fallback registration")
+	}
+	fallback = fb
+}
+
 // NewDiscipline constructs the bare named discipline from an explicit
 // Config, ignoring its Clock/Shards fields — the path runtime builders use
 // for each shard (going through New would recurse into the builder).
 func NewDiscipline(name string, cfg Config) (Interface, error) {
 	registry.RLock()
 	f, ok := registry.m[name]
+	fb := fallback
 	registry.RUnlock()
+	if !ok && fb != nil {
+		f, ok = fb(name, cfg)
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: unknown scheduler %q (known: %v)", ErrBadConfig, name, Names())
 	}
@@ -204,6 +241,21 @@ func NewDiscipline(name string, cfg Config) (Interface, error) {
 		return nil, fmt.Errorf("sched: new %q: %w", name, err)
 	}
 	return s, nil
+}
+
+// Known reports whether name resolves to a discipline factory: registered
+// directly, or claimed by the fallback family handler (e.g. the
+// open-ended "hier:<spec>" names). It checks name resolution only, not
+// that any particular configuration constructs.
+func Known(name string) bool {
+	registry.RLock()
+	_, ok := registry.m[name]
+	fb := fallback
+	registry.RUnlock()
+	if !ok && fb != nil {
+		_, ok = fb(name, Config{})
+	}
+	return ok
 }
 
 // MustNew is New for static configurations known to be valid; it panics on
